@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every module regenerates one table or figure of the paper (see DESIGN.md
+for the experiment index).  Each benchmark both:
+
+* times the experiment via ``pytest-benchmark`` (so regressions in the
+  algorithms show up as timing changes), and
+* prints the figure-style table of reproduced numbers, so running
+  ``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+  results.
+
+The paper-scale experiments (n = 1000 raw-accuracy sweeps, d = 3000
+knowledge sweeps, 10 repeats each) take tens of minutes; the benchmarks
+default to *reduced-scale* configurations that preserve the relevant
+ratios (cluster dimensionality as a fraction of d, coverage, input sizes)
+and finish in a few minutes.  Set the environment variable
+``REPRO_BENCH_SCALE=paper`` to run the full paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "reduced").lower() == "paper"
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    """Whether the full paper-scale configurations were requested."""
+    return PAPER_SCALE
+
+
+def pytest_report_header(config):
+    scale = "paper" if PAPER_SCALE else "reduced"
+    return "repro benchmark scale: %s (set REPRO_BENCH_SCALE=paper for full scale)" % scale

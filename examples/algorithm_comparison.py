@@ -1,0 +1,91 @@
+"""Comparing SSPC against the paper's baselines on low-dimensional clusters.
+
+A reduced-scale rendition of the Figure 3 / Figure 5 story: as the
+fraction of relevant dimensions per cluster shrinks, full-space methods
+(CLARANS) fail first, then the unsupervised projected methods (PROCLUS,
+HARP) degrade, while SSPC — especially with a little knowledge — keeps
+finding the clusters.
+
+Run with:  python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import SSPC
+from repro.baselines import CLARANS, HARP, PROCLUS
+from repro.data import make_projected_clusters
+from repro.evaluation import adjusted_rand_index
+from repro.semisupervision import sample_knowledge
+
+
+def evaluate_algorithms(dataset, seed=0):
+    """Return {algorithm name: ARI} for one dataset."""
+    results = {}
+
+    proclus = PROCLUS(
+        n_clusters=dataset.n_clusters,
+        avg_dimensions=dataset.average_dimensionality(),
+        random_state=seed,
+    ).fit(dataset.data)
+    results["PROCLUS (correct l)"] = adjusted_rand_index(dataset.labels, proclus.labels_)
+
+    harp = HARP(n_clusters=dataset.n_clusters, random_state=seed).fit(dataset.data)
+    results["HARP"] = adjusted_rand_index(dataset.labels, harp.labels_)
+
+    clarans = CLARANS(n_clusters=dataset.n_clusters, max_neighbors=100, random_state=seed).fit(
+        dataset.data
+    )
+    results["CLARANS"] = adjusted_rand_index(dataset.labels, clarans.labels_)
+
+    sspc = SSPC(n_clusters=dataset.n_clusters, m=0.5, random_state=seed).fit(dataset.data)
+    results["SSPC (unsupervised)"] = adjusted_rand_index(dataset.labels, sspc.labels_)
+
+    knowledge = sample_knowledge(
+        dataset.labels,
+        dataset.relevant_dimensions,
+        category="dimensions",
+        input_size=3,
+        coverage=1.0,
+        random_state=seed,
+    )
+    guided = SSPC(n_clusters=dataset.n_clusters, m=0.5, random_state=seed).fit(
+        dataset.data, knowledge
+    )
+    results["SSPC (3 labeled dims/cluster)"] = adjusted_rand_index(dataset.labels, guided.labels_)
+    return results
+
+
+def main() -> None:
+    configurations = [
+        ("20% relevant dimensions", dict(n_dimensions=100, avg_cluster_dimensionality=20)),
+        ("10% relevant dimensions", dict(n_dimensions=100, avg_cluster_dimensionality=10)),
+        ("5% relevant dimensions", dict(n_dimensions=100, avg_cluster_dimensionality=5)),
+        ("2% relevant dimensions", dict(n_dimensions=400, avg_cluster_dimensionality=8)),
+    ]
+    algorithms = None
+    table = {}
+    for note, overrides in configurations:
+        dataset = make_projected_clusters(
+            n_objects=400, n_clusters=4, random_state=5, **overrides
+        )
+        results = evaluate_algorithms(dataset)
+        table[note] = results
+        if algorithms is None:
+            algorithms = list(results)
+
+    print("Adjusted Rand Index by algorithm and cluster dimensionality\n")
+    header = "%-32s" % "algorithm" + "".join("%26s" % note for note in table)
+    print(header)
+    for algorithm in algorithms:
+        row = "%-32s" % algorithm
+        row += "".join("%26.3f" % table[note][algorithm] for note in table)
+        print(row)
+    print(
+        "\nExpected shape: every method handles 20%; CLARANS collapses first, the\n"
+        "unsupervised projected methods degrade as the dimensionality drops, and\n"
+        "SSPC with a few labeled dimensions stays accurate throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package can also be installed in environments without the ``wheel``
+package (offline machines), via ``python setup.py develop`` or legacy
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,162 @@
+"""Plain k-means (Lloyd's algorithm) — substrate and sanity baseline.
+
+The paper's problem definition (Section 3) notes that the k-means
+objective (total within-cluster squared error) corresponds to the maximum
+likelihood hypothesis of the data model when there are no irrelevant
+dimensions.  The implementation below is used as a sanity baseline in
+tests and as the refinement substrate of other methods; it follows the
+standard Lloyd iteration with k-means++-style seeding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.model import ClusteringResult
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array_2d, check_cluster_count, check_positive_int
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ initialisation.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    max_iterations:
+        Maximum number of Lloyd iterations.
+    tolerance:
+        Relative decrease of the within-cluster squared error below which
+        the iteration stops.
+    n_init:
+        Number of independent restarts; the best (lowest inertia) run is
+        kept.
+    random_state:
+        Seed or generator.
+
+    Attributes
+    ----------
+    labels_:
+        Cluster assignment of every object.
+    centers_:
+        ``(k, d)`` array of cluster centroids.
+    inertia_:
+        Total within-cluster squared error of the best run.
+    result_:
+        :class:`~repro.core.model.ClusteringResult` view of the output.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        n_init: int = 5,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=1)
+        self.max_iterations = check_positive_int(max_iterations, name="max_iterations", minimum=1)
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.tolerance = float(tolerance)
+        self.n_init = check_positive_int(n_init, name="n_init", minimum=1)
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.centers_: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+        self.result_: Optional[ClusteringResult] = None
+        self.n_iterations_: int = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> "KMeans":
+        """Cluster ``data`` and store labels, centers and inertia."""
+        data = check_array_2d(data, name="data", min_rows=2)
+        check_cluster_count(self.n_clusters, data.shape[0])
+        rng = ensure_rng(self.random_state)
+
+        best_labels: Optional[np.ndarray] = None
+        best_centers: Optional[np.ndarray] = None
+        best_inertia = float("inf")
+        best_iterations = 0
+        for _ in range(self.n_init):
+            labels, centers, inertia, iterations = self._single_run(data, rng)
+            if inertia < best_inertia:
+                best_labels, best_centers, best_inertia = labels, centers, inertia
+                best_iterations = iterations
+
+        assert best_labels is not None and best_centers is not None
+        self.labels_ = best_labels
+        self.centers_ = best_centers
+        self.inertia_ = float(best_inertia)
+        self.n_iterations_ = int(best_iterations)
+        self.result_ = ClusteringResult.from_labels(
+            best_labels,
+            data.shape[1],
+            objective=-float(best_inertia),
+            algorithm="KMeans",
+            parameters=self.get_params(),
+            n_clusters=self.n_clusters,
+        )
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """:meth:`fit` then return the labels."""
+        return self.fit(data).labels_
+
+    def get_params(self) -> Dict[str, object]:
+        """Constructor parameters for reporting."""
+        return {
+            "n_clusters": self.n_clusters,
+            "max_iterations": self.max_iterations,
+            "tolerance": self.tolerance,
+            "n_init": self.n_init,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _single_run(self, data: np.ndarray, rng: np.random.Generator):
+        centers = self._kmeans_plus_plus(data, rng)
+        previous_inertia = float("inf")
+        labels = np.zeros(data.shape[0], dtype=int)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = self._squared_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if members.shape[0] > 0:
+                    centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the point farthest from its center.
+                    farthest = int(np.argmax(distances.min(axis=1)))
+                    centers[cluster] = data[farthest]
+            if previous_inertia - inertia <= self.tolerance * max(previous_inertia, 1.0):
+                previous_inertia = inertia
+                break
+            previous_inertia = inertia
+        return labels, centers, previous_inertia, iterations
+
+    def _kmeans_plus_plus(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n_objects = data.shape[0]
+        centers = np.empty((self.n_clusters, data.shape[1]))
+        first = int(rng.integers(n_objects))
+        centers[0] = data[first]
+        closest = ((data - centers[0]) ** 2).sum(axis=1)
+        for index in range(1, self.n_clusters):
+            total = closest.sum()
+            if total <= 0:
+                choice = int(rng.integers(n_objects))
+            else:
+                choice = int(rng.choice(n_objects, p=closest / total))
+            centers[index] = data[choice]
+            closest = np.minimum(closest, ((data - centers[index]) ** 2).sum(axis=1))
+        return centers
+
+    @staticmethod
+    def _squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        return ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)

@@ -1,0 +1,137 @@
+"""k-medoids (PAM-style) substrate.
+
+The medoid-based family (k-medoids, CLARANS, PROCLUS, SSPC itself) shares
+the idea of representing each cluster by an actual object.  This module
+provides a straightforward PAM-style alternating optimisation used as a
+sanity baseline and as shared machinery for the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import ClusteringResult
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_array_2d, check_cluster_count, check_positive_int
+
+
+class KMedoids:
+    """Alternating k-medoids (assign to nearest medoid, re-pick best medoid).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    max_iterations:
+        Maximum number of alternate-and-update iterations.
+    n_init:
+        Number of independent restarts; the lowest-cost run is kept.
+    dimensions:
+        Optional subset of dimensions used for all distance computations
+        (lets tests exercise "projected" behaviour with a fixed subspace).
+    random_state:
+        Seed or generator.
+
+    Attributes
+    ----------
+    labels_, medoid_indices_, cost_, result_ :
+        Outputs after :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        max_iterations: int = 50,
+        n_init: int = 4,
+        dimensions: Optional[Sequence[int]] = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=1)
+        self.max_iterations = check_positive_int(max_iterations, name="max_iterations", minimum=1)
+        self.n_init = check_positive_int(n_init, name="n_init", minimum=1)
+        self.dimensions = None if dimensions is None else np.asarray(dimensions, dtype=int)
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.medoid_indices_: Optional[np.ndarray] = None
+        self.cost_: float = float("inf")
+        self.result_: Optional[ClusteringResult] = None
+        self.n_iterations_: int = 0
+
+    def fit(self, data) -> "KMedoids":
+        """Cluster ``data`` by alternating assignment and medoid update."""
+        data = check_array_2d(data, name="data", min_rows=2)
+        check_cluster_count(self.n_clusters, data.shape[0])
+        rng = ensure_rng(self.random_state)
+        working = data if self.dimensions is None else data[:, self.dimensions]
+
+        best_labels = None
+        best_medoids = None
+        best_cost = float("inf")
+        best_iterations = 0
+        for _ in range(self.n_init):
+            labels, medoids, cost, iterations = self._single_run(working, rng)
+            if cost < best_cost:
+                best_labels, best_medoids, best_cost = labels, medoids, cost
+                best_iterations = iterations
+
+        assert best_labels is not None and best_medoids is not None
+        self.labels_ = best_labels
+        self.medoid_indices_ = np.asarray(best_medoids, dtype=int)
+        self.cost_ = float(best_cost)
+        self.n_iterations_ = int(best_iterations)
+        self.result_ = ClusteringResult.from_labels(
+            best_labels,
+            data.shape[1],
+            objective=-float(best_cost),
+            algorithm="KMedoids",
+            parameters=self.get_params(),
+            n_clusters=self.n_clusters,
+        )
+        return self
+
+    def _single_run(self, working: np.ndarray, rng: np.random.Generator):
+        """One restart: random medoids, then alternate assign / update."""
+        n_objects = working.shape[0]
+        medoids = rng.choice(n_objects, size=self.n_clusters, replace=False)
+        labels = np.zeros(n_objects, dtype=int)
+        cost = float("inf")
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = self._distances_to(working, medoids)
+            labels = np.argmin(distances, axis=1)
+            new_cost = float(distances[np.arange(n_objects), labels].sum())
+            new_medoids = medoids.copy()
+            for cluster in range(self.n_clusters):
+                members = np.flatnonzero(labels == cluster)
+                if members.size == 0:
+                    new_medoids[cluster] = int(rng.integers(n_objects))
+                    continue
+                block = working[members]
+                within = ((block[:, None, :] - block[None, :, :]) ** 2).sum(axis=2)
+                new_medoids[cluster] = int(members[int(np.argmin(within.sum(axis=1)))])
+            if np.array_equal(np.sort(new_medoids), np.sort(medoids)) or new_cost >= cost:
+                cost = min(cost, new_cost)
+                break
+            medoids, cost = new_medoids, new_cost
+        return labels, medoids, cost, iterations
+
+    def fit_predict(self, data) -> np.ndarray:
+        """:meth:`fit` then return the labels."""
+        return self.fit(data).labels_
+
+    def get_params(self) -> Dict[str, object]:
+        """Constructor parameters for reporting."""
+        return {
+            "n_clusters": self.n_clusters,
+            "max_iterations": self.max_iterations,
+            "n_init": self.n_init,
+            "dimensions": None if self.dimensions is None else [int(j) for j in self.dimensions],
+        }
+
+    @staticmethod
+    def _distances_to(data: np.ndarray, medoids: np.ndarray) -> np.ndarray:
+        return ((data[:, None, :] - data[medoids][None, :, :]) ** 2).sum(axis=2)

@@ -1,0 +1,274 @@
+"""Data structures describing projected clusters and clustering results.
+
+The projected clustering problem (Section 3 of the paper) outputs, for a
+dataset of ``n`` objects and ``d`` dimensions:
+
+* ``k`` clusters, each a set of member objects *and* a set of selected
+  (relevant) dimensions, and
+* a possibly empty set of outliers.
+
+Everything downstream — the objective function, the evaluation metrics,
+the experiment harness and the baselines — exchanges results through the
+:class:`ProjectedCluster` and :class:`ClusteringResult` containers defined
+here, so the different algorithms stay interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_index_sequence, check_membership_labels
+
+OUTLIER_LABEL = -1
+"""Label value used for objects placed on the outlier list."""
+
+
+@dataclass
+class ProjectedCluster:
+    """One projected cluster: its members and its selected dimensions.
+
+    Attributes
+    ----------
+    members:
+        Sorted array of object indices belonging to the cluster.
+    dimensions:
+        Sorted array of selected (relevant) dimension indices.
+    score:
+        The per-cluster objective component ``phi_i`` (Eq. 2 of the
+        paper) if the producing algorithm computes it, else ``nan``.
+    representative:
+        Optional representative point (medoid projection or median
+        vector) used during the last assignment pass.  Stored mainly for
+        diagnostics and the examples; not required by the evaluation.
+    """
+
+    members: np.ndarray
+    dimensions: np.ndarray
+    score: float = float("nan")
+    representative: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.members = np.asarray(
+            sorted({int(i) for i in np.asarray(self.members).ravel()}), dtype=int
+        )
+        self.dimensions = np.asarray(
+            sorted({int(j) for j in np.asarray(self.dimensions).ravel()}), dtype=int
+        )
+        if self.representative is not None:
+            self.representative = np.asarray(self.representative, dtype=float)
+
+    @property
+    def size(self) -> int:
+        """Number of member objects."""
+        return int(self.members.size)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of selected dimensions."""
+        return int(self.dimensions.size)
+
+    def member_set(self) -> frozenset:
+        """Members as a frozenset (handy for set algebra in tests)."""
+        return frozenset(int(i) for i in self.members)
+
+    def dimension_set(self) -> frozenset:
+        """Selected dimensions as a frozenset."""
+        return frozenset(int(j) for j in self.dimensions)
+
+    def contains(self, object_index: int) -> bool:
+        """Whether ``object_index`` is a member of the cluster."""
+        return bool(np.isin(object_index, self.members))
+
+    def projection(self, data: np.ndarray) -> np.ndarray:
+        """Return the member rows restricted to the selected dimensions."""
+        data = np.asarray(data, dtype=float)
+        return data[np.ix_(self.members, self.dimensions)]
+
+
+@dataclass
+class ClusteringResult:
+    """Full output of a (projected) clustering algorithm.
+
+    Attributes
+    ----------
+    clusters:
+        List of :class:`ProjectedCluster`, in cluster-index order.
+    n_objects:
+        Number of objects in the clustered dataset.
+    n_dimensions:
+        Number of dimensions in the clustered dataset.
+    objective:
+        Overall objective value reported by the algorithm (algorithm
+        specific; SSPC reports ``phi`` of Eq. 1).
+    n_iterations:
+        Number of optimisation iterations performed.
+    algorithm:
+        Human readable algorithm name (``"SSPC"``, ``"PROCLUS"``, ...).
+    parameters:
+        The parameter values used to produce the result, for
+        reporting / reproducibility.
+    """
+
+    clusters: List[ProjectedCluster]
+    n_objects: int
+    n_dimensions: int
+    objective: float = float("nan")
+    n_iterations: int = 0
+    algorithm: str = ""
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_objects <= 0:
+            raise ValueError("n_objects must be positive")
+        if self.n_dimensions <= 0:
+            raise ValueError("n_dimensions must be positive")
+        seen: set = set()
+        for index, cluster in enumerate(self.clusters):
+            if not isinstance(cluster, ProjectedCluster):
+                raise TypeError("clusters[%d] is not a ProjectedCluster" % index)
+            if cluster.members.size and cluster.members.max() >= self.n_objects:
+                raise ValueError("clusters[%d] references objects outside the dataset" % index)
+            if cluster.dimensions.size and cluster.dimensions.max() >= self.n_dimensions:
+                raise ValueError("clusters[%d] references dimensions outside the dataset" % index)
+            overlap = seen.intersection(cluster.member_set())
+            if overlap:
+                raise ValueError(
+                    "object(s) %s assigned to more than one cluster" % sorted(overlap)[:5]
+                )
+            seen.update(cluster.member_set())
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (including empty ones, which are legal)."""
+        return len(self.clusters)
+
+    @property
+    def outliers(self) -> np.ndarray:
+        """Indices of objects not assigned to any cluster."""
+        assigned = np.zeros(self.n_objects, dtype=bool)
+        for cluster in self.clusters:
+            assigned[cluster.members] = True
+        return np.flatnonzero(~assigned)
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of objects on the outlier list."""
+        return int(self.outliers.size)
+
+    def labels(self) -> np.ndarray:
+        """Membership labels, ``-1`` for outliers, cluster index otherwise."""
+        labels = np.full(self.n_objects, OUTLIER_LABEL, dtype=int)
+        for index, cluster in enumerate(self.clusters):
+            labels[cluster.members] = index
+        return labels
+
+    def selected_dimensions(self) -> List[np.ndarray]:
+        """Per-cluster selected dimension arrays, in cluster order."""
+        return [cluster.dimensions.copy() for cluster in self.clusters]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Array of per-cluster sizes."""
+        return np.asarray([cluster.size for cluster in self.clusters], dtype=int)
+
+    def average_dimensionality(self) -> float:
+        """Mean number of selected dimensions over non-empty clusters."""
+        dims = [cluster.dimensionality for cluster in self.clusters if cluster.size > 0]
+        if not dims:
+            return 0.0
+        return float(np.mean(dims))
+
+    def without_objects(self, object_indices: Iterable[int]) -> "ClusteringResult":
+        """Return a copy of the result with some objects removed from clusters.
+
+        The paper removes labeled objects from the produced clusters
+        before computing ARI, "in order to eliminate the direct
+        performance gain due to the input objects" (Section 5).  The
+        removed objects become outliers in the returned copy.
+        """
+        to_drop = set(int(i) for i in object_indices)
+        new_clusters = []
+        for cluster in self.clusters:
+            kept = np.asarray(
+                [int(i) for i in cluster.members if int(i) not in to_drop], dtype=int
+            )
+            new_clusters.append(
+                ProjectedCluster(
+                    members=kept,
+                    dimensions=cluster.dimensions.copy(),
+                    score=cluster.score,
+                    representative=None if cluster.representative is None else cluster.representative.copy(),
+                )
+            )
+        return ClusteringResult(
+            clusters=new_clusters,
+            n_objects=self.n_objects,
+            n_dimensions=self.n_dimensions,
+            objective=self.objective,
+            n_iterations=self.n_iterations,
+            algorithm=self.algorithm,
+            parameters=dict(self.parameters),
+        )
+
+    def summary(self) -> str:
+        """Small human-readable summary used by the examples."""
+        lines = [
+            "%s result: %d clusters, %d outliers, objective=%.6g"
+            % (self.algorithm or "clustering", self.n_clusters, self.n_outliers, self.objective)
+        ]
+        for index, cluster in enumerate(self.clusters):
+            lines.append(
+                "  cluster %d: %d objects, %d selected dimensions"
+                % (index, cluster.size, cluster.dimensionality)
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_labels(
+        cls,
+        labels: Sequence[int],
+        n_dimensions: int,
+        *,
+        dimensions: Optional[Sequence[Sequence[int]]] = None,
+        objective: float = float("nan"),
+        algorithm: str = "",
+        parameters: Optional[Dict[str, object]] = None,
+        n_clusters: Optional[int] = None,
+    ) -> "ClusteringResult":
+        """Build a result from a membership label vector.
+
+        Parameters
+        ----------
+        labels:
+            Length-``n`` integer vector; ``-1`` marks outliers.
+        n_dimensions:
+            Dimensionality of the dataset.
+        dimensions:
+            Optional per-cluster selected dimensions.  When omitted every
+            cluster is assumed to use all dimensions (the convention for
+            non-projected baselines such as CLARANS).
+        n_clusters:
+            Number of clusters; inferred from the labels when omitted.
+        """
+        labels = check_membership_labels(labels, len(labels))
+        n_objects = labels.shape[0]
+        if n_clusters is None:
+            n_clusters = int(labels.max()) + 1 if np.any(labels >= 0) else 0
+        clusters = []
+        for index in range(n_clusters):
+            members = np.flatnonzero(labels == index)
+            if dimensions is not None and index < len(dimensions):
+                dims = check_index_sequence(dimensions[index], n_dimensions, name="dimensions")
+            else:
+                dims = np.arange(n_dimensions)
+            clusters.append(ProjectedCluster(members=members, dimensions=dims))
+        return cls(
+            clusters=clusters,
+            n_objects=n_objects,
+            n_dimensions=int(n_dimensions),
+            objective=objective,
+            algorithm=algorithm,
+            parameters=dict(parameters or {}),
+        )

@@ -1,0 +1,176 @@
+"""Cluster-representative replacement (Section 4.3 of the paper).
+
+After each iteration SSPC improves the clustering by
+
+* identifying one *bad* cluster — typically the loser of two clusters
+  whose medoids fall in the same real cluster (detected by a very low
+  ``phi_i`` score, or by two clusters being very similar) — and drawing a
+  brand new medoid for it from its seed group, and
+* replacing the representative of every other cluster by the cluster
+  *median*, which is likely closer to the real cluster centre than the
+  current medoid along some relevant dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import ClusterState
+from repro.core.objective import ObjectiveFunction
+
+
+def find_bad_cluster(
+    objective: ObjectiveFunction,
+    states: Sequence[ClusterState],
+    phi_scores: Sequence[float],
+    *,
+    similarity_threshold: float = 0.8,
+) -> int:
+    """Pick the cluster whose representative should be replaced.
+
+    Two signals are combined, following Section 4.3:
+
+    1. If two clusters are *very similar* — their selected dimension sets
+       overlap heavily (Jaccard similarity above ``similarity_threshold``)
+       and their representatives nearly coincide in the shared subspace —
+       the one with the lower ``phi_i`` is the bad cluster (it is losing
+       the competition for the same real cluster).
+    2. Otherwise the cluster with the lowest ``phi_i`` score is returned;
+       empty clusters count as having the worst possible score.
+
+    Returns
+    -------
+    int
+        Index of the bad cluster.
+    """
+    phi_scores = np.asarray(phi_scores, dtype=float)
+    n_clusters = len(states)
+    if n_clusters == 0:
+        raise ValueError("cannot pick a bad cluster from an empty clustering")
+
+    # Signal 2 default: lowest score, empty clusters worst of all.
+    effective = phi_scores.copy()
+    for index, state in enumerate(states):
+        if state.members.size == 0:
+            effective[index] = -np.inf
+
+    # Signal 1: similar cluster pairs.
+    worst_similar: Optional[int] = None
+    for i in range(n_clusters):
+        for j in range(i + 1, n_clusters):
+            if _clusters_similar(objective, states[i], states[j], similarity_threshold):
+                loser = i if effective[i] <= effective[j] else j
+                if worst_similar is None or effective[loser] < effective[worst_similar]:
+                    worst_similar = loser
+    if worst_similar is not None:
+        return int(worst_similar)
+    return int(np.argmin(effective))
+
+
+def _clusters_similar(
+    objective: ObjectiveFunction,
+    first: ClusterState,
+    second: ClusterState,
+    similarity_threshold: float,
+) -> bool:
+    """Whether two clusters look like duplicates of the same real cluster."""
+    dims_first = set(int(j) for j in first.dimensions)
+    dims_second = set(int(j) for j in second.dimensions)
+    if not dims_first or not dims_second:
+        return False
+    union = dims_first | dims_second
+    jaccard = len(dims_first & dims_second) / len(union)
+    if jaccard < similarity_threshold:
+        return False
+    shared = np.asarray(sorted(dims_first & dims_second), dtype=int)
+    if shared.size == 0:
+        return False
+    # Representatives close in the shared subspace relative to the global
+    # spread of those dimensions indicates the same underlying centre.
+    global_std = np.sqrt(objective.threshold.global_variance[shared])
+    gap = np.abs(first.representative[shared] - second.representative[shared])
+    return bool(np.mean(gap / global_std) < 0.5)
+
+
+def replace_representatives(
+    objective: ObjectiveFunction,
+    states: Sequence[ClusterState],
+    bad_cluster: int,
+    new_medoid: Optional[int],
+    new_medoid_dimensions: Optional[np.ndarray],
+) -> List[ClusterState]:
+    """Produce the next iteration's cluster states.
+
+    The bad cluster receives the new medoid (and its seed group's
+    estimated dimensions); every other cluster's representative becomes
+    the median of its current members (keeping its selected dimensions),
+    or stays unchanged when the cluster is empty.  Member lists are
+    cleared — the next assignment pass repopulates them (Listing 2,
+    step 6).
+
+    Parameters
+    ----------
+    objective:
+        The fitted objective function (provides the data).
+    states:
+        Current cluster states.
+    bad_cluster:
+        Index of the cluster whose representative is replaced by a new
+        medoid.
+    new_medoid:
+        Object index of the new medoid, or ``None`` when the seed group
+        is exhausted (the bad cluster then also falls back to its
+        median).
+    new_medoid_dimensions:
+        Estimated relevant dimensions associated with the new medoid's
+        seed group (``None`` keeps the cluster's current dimensions).
+    """
+    next_states: List[ClusterState] = []
+    for cluster_index, state in enumerate(states):
+        if cluster_index == bad_cluster and new_medoid is not None:
+            dimensions = (
+                np.asarray(new_medoid_dimensions, dtype=int)
+                if new_medoid_dimensions is not None and len(new_medoid_dimensions) > 0
+                else state.dimensions.copy()
+            )
+            next_states.append(
+                ClusterState(
+                    representative=objective.data[int(new_medoid)].copy(),
+                    dimensions=dimensions,
+                    members=np.empty(0, dtype=int),
+                    size_hint=max(state.members.size, 2),
+                )
+            )
+            continue
+        if state.members.size > 0:
+            median = np.median(objective.data[state.members], axis=0)
+        else:
+            median = state.representative.copy()
+        next_states.append(
+            ClusterState(
+                representative=median,
+                dimensions=state.dimensions.copy(),
+                members=np.empty(0, dtype=int),
+                size_hint=max(state.members.size, 2),
+            )
+        )
+    return next_states
+
+
+def compute_phi_scores(
+    objective: ObjectiveFunction,
+    states: Sequence[ClusterState],
+) -> Tuple[List[float], float]:
+    """Per-cluster ``phi_i`` scores and the overall ``phi``.
+
+    Uses each cluster's *actual* members and medians (Listing 2, step 4),
+    i.e. the canonical Eq. 4 evaluation rather than the representative
+    substitution used during assignment.
+    """
+    per_cluster: List[float] = []
+    for state in states:
+        per_cluster.append(objective.phi_i(state.members, state.dimensions))
+    overall = float(sum(per_cluster) / (objective.n_objects * objective.n_dimensions))
+    return per_cluster, overall

@@ -1,0 +1,42 @@
+"""Synthetic data generation, loading and preprocessing.
+
+The paper's evaluation is entirely synthetic: datasets follow the data
+model of Section 3 (uniform global populations, narrow Gaussian local
+populations along each cluster's relevant dimensions), with parameters
+chosen per experiment.  This package provides:
+
+* :class:`SyntheticDataGenerator` / :func:`make_projected_clusters` —
+  the Section 3 data model with configurable global distribution, local
+  variance range, cluster-size balance and outliers.
+* :func:`make_multigroup_dataset` — the Section 5.4 construction where
+  two independent groupings are concatenated dimension-wise.
+* Expression-like dataset builders and simple CSV persistence used by the
+  examples.
+* Column standardisation / normalisation helpers.
+"""
+
+from repro.data.generator import (
+    SyntheticDataGenerator,
+    SyntheticDataset,
+    make_projected_clusters,
+)
+from repro.data.multigroup import MultiGroupingDataset, make_multigroup_dataset
+from repro.data.loaders import (
+    load_csv_dataset,
+    make_expression_like_dataset,
+    save_csv_dataset,
+)
+from repro.data.preprocessing import min_max_normalize, standardize
+
+__all__ = [
+    "SyntheticDataGenerator",
+    "SyntheticDataset",
+    "make_projected_clusters",
+    "MultiGroupingDataset",
+    "make_multigroup_dataset",
+    "load_csv_dataset",
+    "save_csv_dataset",
+    "make_expression_like_dataset",
+    "min_max_normalize",
+    "standardize",
+]

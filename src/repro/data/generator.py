@@ -1,0 +1,364 @@
+"""Synthetic projected-cluster generator implementing the paper's data model.
+
+Section 3 of the paper defines the model: a dataset ``D`` of ``n``
+objects and ``d`` dimensions is partitioned into ``k`` clusters plus a
+possibly empty outlier set.  For every dimension ``v_j`` relevant to a
+cluster ``C_i``, the projection of the cluster members onto ``v_j`` is a
+random sample of a *local* Gaussian with small variance, while all other
+projected values on ``v_j`` come from a *global* population with much
+larger variance.  The experiments (Section 5) instantiate the global
+population as a uniform distribution and draw the local standard
+deviations from 1%-10% of the global value range.
+
+:class:`SyntheticDataGenerator` reproduces this construction with the
+parameters used in the paper's experiments exposed as arguments:
+
+* dataset shape ``n``, ``d``, ``k``,
+* average cluster dimensionality ``l_real`` (either identical for every
+  cluster or varied around the average),
+* global distribution (uniform or Gaussian),
+* local standard deviation range as a fraction of the global range,
+* outlier fraction,
+* cluster-size balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+)
+
+GLOBAL_DISTRIBUTIONS = ("uniform", "gaussian")
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated dataset together with its ground truth.
+
+    Attributes
+    ----------
+    data:
+        The ``(n, d)`` data matrix.
+    labels:
+        Ground-truth membership labels; ``-1`` marks generated outliers.
+    relevant_dimensions:
+        Per-cluster lists of relevant dimension indices (class label is
+        the list position).
+    local_means, local_stds:
+        Per-cluster dictionaries mapping relevant dimension index to the
+        mean / standard deviation of its local Gaussian, kept for tests
+        and diagnostics.
+    parameters:
+        Echo of the generator parameters used.
+    """
+
+    data: np.ndarray
+    labels: np.ndarray
+    relevant_dimensions: List[np.ndarray]
+    local_means: List[Dict[int, float]] = field(default_factory=list)
+    local_stds: List[Dict[int, float]] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects (rows)."""
+        return int(self.data.shape[0])
+
+    @property
+    def n_dimensions(self) -> int:
+        """Number of dimensions (columns)."""
+        return int(self.data.shape[1])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of generated clusters."""
+        return len(self.relevant_dimensions)
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of generated outliers."""
+        return int(np.count_nonzero(self.labels == -1))
+
+    def cluster_members(self, label: int) -> np.ndarray:
+        """Indices of the members of cluster ``label``."""
+        return np.flatnonzero(self.labels == label)
+
+    def average_dimensionality(self) -> float:
+        """Mean number of relevant dimensions per cluster."""
+        if not self.relevant_dimensions:
+            return 0.0
+        return float(np.mean([dims.size for dims in self.relevant_dimensions]))
+
+
+@dataclass
+class SyntheticDataGenerator:
+    """Configurable generator for projected-cluster datasets.
+
+    Parameters
+    ----------
+    n_objects, n_dimensions, n_clusters:
+        Dataset shape (``n``, ``d``, ``k``).
+    avg_cluster_dimensionality:
+        The paper's ``l_real`` — average number of relevant dimensions
+        per cluster.
+    dimensionality_spread:
+        Maximum deviation of a cluster's dimensionality from the
+        average (0 keeps every cluster at exactly ``l_real``).
+    global_distribution:
+        ``"uniform"`` (the paper's choice) or ``"gaussian"``.
+    value_range:
+        ``(low, high)`` range of the uniform global population; for the
+        Gaussian global population the mean is the mid-point and the
+        standard deviation one sixth of the range.
+    local_std_fraction:
+        ``(low, high)`` bounds on the local standard deviation expressed
+        as a fraction of the global value range (paper: 1%-10%).
+    outlier_fraction:
+        Fraction of objects generated as outliers (all-global rows).
+    balanced:
+        When ``True`` all clusters have (as close as possible) the same
+        size; otherwise sizes are drawn from a Dirichlet distribution
+        with a lower bound of 2 objects per cluster.
+    shared_dimension_probability:
+        Probability that a relevant dimension of one cluster is reused as
+        a relevant dimension of another cluster (0 keeps the per-cluster
+        relevant sets sampled independently, which still allows chance
+        overlap as in the paper).
+    random_state:
+        Seed or generator controlling the whole construction.
+    """
+
+    n_objects: int = 1000
+    n_dimensions: int = 100
+    n_clusters: int = 5
+    avg_cluster_dimensionality: int = 10
+    dimensionality_spread: int = 0
+    global_distribution: str = "uniform"
+    value_range: Tuple[float, float] = (0.0, 100.0)
+    local_std_fraction: Tuple[float, float] = (0.01, 0.10)
+    outlier_fraction: float = 0.0
+    balanced: bool = True
+    shared_dimension_probability: float = 0.0
+    random_state: RandomState = None
+
+    def __post_init__(self) -> None:
+        self.n_objects = check_positive_int(self.n_objects, name="n_objects", minimum=2)
+        self.n_dimensions = check_positive_int(self.n_dimensions, name="n_dimensions", minimum=1)
+        self.n_clusters = check_positive_int(self.n_clusters, name="n_clusters", minimum=1)
+        self.avg_cluster_dimensionality = check_positive_int(
+            self.avg_cluster_dimensionality, name="avg_cluster_dimensionality", minimum=1
+        )
+        if self.avg_cluster_dimensionality > self.n_dimensions:
+            raise ValueError(
+                "avg_cluster_dimensionality (%d) cannot exceed n_dimensions (%d)"
+                % (self.avg_cluster_dimensionality, self.n_dimensions)
+            )
+        if self.dimensionality_spread < 0:
+            raise ValueError("dimensionality_spread must be non-negative")
+        if self.global_distribution not in GLOBAL_DISTRIBUTIONS:
+            raise ValueError(
+                "global_distribution must be one of %s" % (GLOBAL_DISTRIBUTIONS,)
+            )
+        low, high = self.value_range
+        if not (high > low):
+            raise ValueError("value_range must satisfy high > low")
+        frac_low, frac_high = self.local_std_fraction
+        check_fraction(frac_low, name="local_std_fraction[0]", inclusive_low=False)
+        check_fraction(frac_high, name="local_std_fraction[1]", inclusive_low=False)
+        if frac_high < frac_low:
+            raise ValueError("local_std_fraction must be (low, high) with low <= high")
+        self.outlier_fraction = check_fraction(self.outlier_fraction, name="outlier_fraction")
+        self.shared_dimension_probability = check_fraction(
+            self.shared_dimension_probability, name="shared_dimension_probability"
+        )
+        n_clustered = self.n_objects - int(round(self.outlier_fraction * self.n_objects))
+        if n_clustered < 2 * self.n_clusters:
+            raise ValueError(
+                "not enough non-outlier objects (%d) for %d clusters of at least 2 objects"
+                % (n_clustered, self.n_clusters)
+            )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def generate(self, random_state: RandomState = None) -> SyntheticDataset:
+        """Generate one dataset.
+
+        ``random_state`` overrides the generator's own ``random_state``
+        when supplied, which lets the experiment harness draw repeated
+        datasets from independent streams.
+        """
+        rng = ensure_rng(random_state if random_state is not None else self.random_state)
+
+        sizes = self._cluster_sizes(rng)
+        n_outliers = self.n_objects - int(sizes.sum())
+        relevant = self._relevant_dimensions(rng)
+        local_means, local_stds = self._local_populations(relevant, rng)
+
+        data = self._global_background(rng)
+        labels = np.full(self.n_objects, -1, dtype=int)
+
+        # Assign contiguous blocks then shuffle rows so object order never
+        # leaks the cluster structure to the algorithms.
+        cursor = 0
+        for cluster_index, size in enumerate(sizes):
+            members = np.arange(cursor, cursor + size)
+            cursor += size
+            labels[members] = cluster_index
+            for dim in relevant[cluster_index]:
+                mean = local_means[cluster_index][int(dim)]
+                std = local_stds[cluster_index][int(dim)]
+                data[members, dim] = rng.normal(mean, std, size=members.size)
+        # Rows [cursor, n) remain all-global: these are the outliers.
+
+        permutation = rng.permutation(self.n_objects)
+        data = data[permutation]
+        labels = labels[permutation]
+
+        return SyntheticDataset(
+            data=data,
+            labels=labels,
+            relevant_dimensions=[dims.copy() for dims in relevant],
+            local_means=local_means,
+            local_stds=local_stds,
+            parameters={
+                "n_objects": self.n_objects,
+                "n_dimensions": self.n_dimensions,
+                "n_clusters": self.n_clusters,
+                "avg_cluster_dimensionality": self.avg_cluster_dimensionality,
+                "dimensionality_spread": self.dimensionality_spread,
+                "global_distribution": self.global_distribution,
+                "value_range": tuple(self.value_range),
+                "local_std_fraction": tuple(self.local_std_fraction),
+                "outlier_fraction": self.outlier_fraction,
+                "balanced": self.balanced,
+                "n_outliers": n_outliers,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction pieces
+    # ------------------------------------------------------------------ #
+    def _cluster_sizes(self, rng: np.random.Generator) -> np.ndarray:
+        """Distribute the non-outlier objects over the ``k`` clusters."""
+        n_outliers = int(round(self.outlier_fraction * self.n_objects))
+        n_clustered = self.n_objects - n_outliers
+        if self.balanced:
+            base = n_clustered // self.n_clusters
+            sizes = np.full(self.n_clusters, base, dtype=int)
+            sizes[: n_clustered - base * self.n_clusters] += 1
+        else:
+            proportions = rng.dirichlet(np.full(self.n_clusters, 2.0))
+            sizes = np.maximum((proportions * n_clustered).astype(int), 2)
+            # Fix rounding drift while keeping every cluster at >= 2 objects.
+            while sizes.sum() > n_clustered:
+                candidates = np.flatnonzero(sizes > 2)
+                sizes[rng.choice(candidates)] -= 1
+            while sizes.sum() < n_clustered:
+                sizes[rng.integers(self.n_clusters)] += 1
+        return sizes
+
+    def _relevant_dimensions(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """Draw each cluster's relevant dimension set."""
+        relevant: List[np.ndarray] = []
+        spread = min(self.dimensionality_spread, self.avg_cluster_dimensionality - 1)
+        for cluster_index in range(self.n_clusters):
+            if spread:
+                count = int(rng.integers(
+                    self.avg_cluster_dimensionality - spread,
+                    self.avg_cluster_dimensionality + spread + 1,
+                ))
+            else:
+                count = self.avg_cluster_dimensionality
+            count = int(np.clip(count, 1, self.n_dimensions))
+            dims: set = set()
+            if self.shared_dimension_probability > 0.0 and relevant:
+                pool = np.concatenate(relevant)
+                for dim in pool:
+                    if len(dims) >= count:
+                        break
+                    if rng.random() < self.shared_dimension_probability:
+                        dims.add(int(dim))
+            while len(dims) < count:
+                dims.add(int(rng.integers(self.n_dimensions)))
+            relevant.append(np.asarray(sorted(dims), dtype=int))
+        return relevant
+
+    def _local_populations(
+        self,
+        relevant: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> Tuple[List[Dict[int, float]], List[Dict[int, float]]]:
+        """Draw the mean / std of every local Gaussian population."""
+        low, high = self.value_range
+        value_span = high - low
+        frac_low, frac_high = self.local_std_fraction
+        means: List[Dict[int, float]] = []
+        stds: List[Dict[int, float]] = []
+        for dims in relevant:
+            cluster_means: Dict[int, float] = {}
+            cluster_stds: Dict[int, float] = {}
+            for dim in dims:
+                std = float(rng.uniform(frac_low, frac_high) * value_span)
+                # Keep the local population comfortably inside the global range
+                # so relevant dimensions are not trivially detectable from the
+                # range alone.
+                margin = min(2.0 * std, 0.45 * value_span)
+                mean = float(rng.uniform(low + margin, high - margin))
+                cluster_means[int(dim)] = mean
+                cluster_stds[int(dim)] = std
+            means.append(cluster_means)
+            stds.append(cluster_stds)
+        return means, stds
+
+    def _global_background(self, rng: np.random.Generator) -> np.ndarray:
+        """Fill the whole matrix with draws from the global population."""
+        low, high = self.value_range
+        if self.global_distribution == "uniform":
+            return rng.uniform(low, high, size=(self.n_objects, self.n_dimensions))
+        mean = 0.5 * (low + high)
+        std = (high - low) / 6.0
+        return rng.normal(mean, std, size=(self.n_objects, self.n_dimensions))
+
+
+def make_projected_clusters(
+    n_objects: int = 1000,
+    n_dimensions: int = 100,
+    n_clusters: int = 5,
+    avg_cluster_dimensionality: int = 10,
+    *,
+    dimensionality_spread: int = 0,
+    global_distribution: str = "uniform",
+    value_range: Tuple[float, float] = (0.0, 100.0),
+    local_std_fraction: Tuple[float, float] = (0.01, 0.10),
+    outlier_fraction: float = 0.0,
+    balanced: bool = True,
+    shared_dimension_probability: float = 0.0,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Functional shortcut around :class:`SyntheticDataGenerator`.
+
+    Mirrors the generator's constructor arguments; see its docstring.
+    """
+    generator = SyntheticDataGenerator(
+        n_objects=n_objects,
+        n_dimensions=n_dimensions,
+        n_clusters=n_clusters,
+        avg_cluster_dimensionality=avg_cluster_dimensionality,
+        dimensionality_spread=dimensionality_spread,
+        global_distribution=global_distribution,
+        value_range=value_range,
+        local_std_fraction=local_std_fraction,
+        outlier_fraction=outlier_fraction,
+        balanced=balanced,
+        shared_dimension_probability=shared_dimension_probability,
+        random_state=random_state,
+    )
+    return generator.generate()

@@ -1,0 +1,69 @@
+"""Column-wise preprocessing helpers.
+
+The SSPC objective compares per-cluster column variances against the
+global column variance, so it is scale-equivariant and needs no
+preprocessing on the synthetic data.  Real datasets, however, often mix
+measurement scales; these helpers provide the two standard options
+(z-score standardisation and min-max normalisation) in a form that also
+returns the fitted statistics so new objects can be transformed
+consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class ColumnScaler:
+    """Fitted per-column affine transform ``(x - shift) / scale``."""
+
+    shift: np.ndarray
+    scale: np.ndarray
+
+    def transform(self, data) -> np.ndarray:
+        """Apply the fitted transform to new data."""
+        data = check_array_2d(data, name="data")
+        if data.shape[1] != self.shift.shape[0]:
+            raise ValueError(
+                "data has %d columns but the scaler was fitted on %d"
+                % (data.shape[1], self.shift.shape[0])
+            )
+        return (data - self.shift) / self.scale
+
+    def inverse_transform(self, data) -> np.ndarray:
+        """Undo the transform."""
+        data = check_array_2d(data, name="data")
+        return data * self.scale + self.shift
+
+
+def standardize(data) -> Tuple[np.ndarray, ColumnScaler]:
+    """Z-score standardise every column (constant columns map to 0)."""
+    data = check_array_2d(data, name="data")
+    mean = data.mean(axis=0)
+    std = data.std(axis=0, ddof=0)
+    safe_std = np.where(std > 0, std, 1.0)
+    scaler = ColumnScaler(shift=mean, scale=safe_std)
+    return scaler.transform(data), scaler
+
+
+def min_max_normalize(data, *, feature_range: Tuple[float, float] = (0.0, 1.0)) -> Tuple[np.ndarray, ColumnScaler]:
+    """Scale every column to ``feature_range`` (constant columns map to the low end)."""
+    low, high = feature_range
+    if not high > low:
+        raise ValueError("feature_range must satisfy high > low")
+    data = check_array_2d(data, name="data")
+    col_min = data.min(axis=0)
+    col_max = data.max(axis=0)
+    span = col_max - col_min
+    safe_span = np.where(span > 0, span, 1.0)
+    # Compose the [0,1] scaling with the requested range into one affine map.
+    scale = safe_span / (high - low)
+    shift = col_min - low * scale
+    scaler = ColumnScaler(shift=shift, scale=scale)
+    return scaler.transform(data), scaler

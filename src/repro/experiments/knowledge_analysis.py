@@ -1,0 +1,173 @@
+"""Experiments E1-E2: knowledge-requirement analysis (Figures 1 and 2).
+
+These figures are analytical — they plot the closed-form probability that
+SSPC's initialisation forms at least one grid from dimensions relevant
+(only) to the target cluster, as a function of how much knowledge is
+supplied and how low-dimensional the clusters are.  The runners below
+evaluate the closed forms over the same parameter ranges used by the
+paper (d = 3000, p = 0.01, c = 3, g = 20, variance ratio 0.15, k = 5)
+and, optionally, cross-check them against a Monte-Carlo simulation of
+the initialisation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.analysis import (
+    grid_success_probability_labeled_dimensions,
+    grid_success_probability_labeled_objects,
+)
+from repro.utils.rng import RandomState, ensure_rng
+
+DEFAULT_INPUT_SIZES = tuple(range(0, 21))
+DEFAULT_RELEVANT_FRACTIONS = (0.01, 0.02, 0.05, 0.10)
+
+
+@dataclass
+class KnowledgeAnalysisResult:
+    """Probability curves for one analytical figure."""
+
+    input_sizes: List[int]
+    relevant_fractions: List[float]
+    probabilities: np.ndarray
+    monte_carlo: Dict[float, np.ndarray] = field(default_factory=dict)
+
+    def as_table(self) -> str:
+        """Figure-style table: one column per relevant fraction."""
+        lines = ["%-12s" % "input size" + "".join("%12s" % ("di/d=%.0f%%" % (100 * f)) for f in self.relevant_fractions)]
+        for column, size in enumerate(self.input_sizes):
+            row = "%-12d" % size
+            row += "".join("%12.3f" % self.probabilities[r, column] for r in range(len(self.relevant_fractions)))
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_figure1(
+    input_sizes: Sequence[int] = DEFAULT_INPUT_SIZES,
+    relevant_fractions: Sequence[float] = DEFAULT_RELEVANT_FRACTIONS,
+    *,
+    n_dimensions: int = 3000,
+    p: float = 0.01,
+    grid_dimensions: int = 3,
+    n_grids: int = 20,
+    variance_ratio: float = 0.15,
+    monte_carlo_trials: int = 0,
+    random_state: RandomState = None,
+) -> KnowledgeAnalysisResult:
+    """Figure 1: probability of an all-relevant grid vs. number of labeled objects.
+
+    ``monte_carlo_trials > 0`` adds a simulation estimate of the same
+    probability (drawing candidate sets and grids from the model) used by
+    the tests to validate the closed form.
+    """
+    probabilities = np.zeros((len(relevant_fractions), len(input_sizes)))
+    for row, fraction in enumerate(relevant_fractions):
+        for column, size in enumerate(input_sizes):
+            probabilities[row, column] = grid_success_probability_labeled_objects(
+                int(size),
+                n_dimensions=n_dimensions,
+                relevant_fraction=float(fraction),
+                p=p,
+                grid_dimensions=grid_dimensions,
+                n_grids=n_grids,
+                variance_ratio=variance_ratio,
+            )
+    result = KnowledgeAnalysisResult(
+        input_sizes=[int(s) for s in input_sizes],
+        relevant_fractions=[float(f) for f in relevant_fractions],
+        probabilities=probabilities,
+    )
+    if monte_carlo_trials > 0:
+        rng = ensure_rng(random_state)
+        for fraction in relevant_fractions:
+            result.monte_carlo[float(fraction)] = _simulate_labeled_objects(
+                input_sizes,
+                fraction,
+                n_dimensions=n_dimensions,
+                p=p,
+                grid_dimensions=grid_dimensions,
+                n_grids=n_grids,
+                variance_ratio=variance_ratio,
+                trials=monte_carlo_trials,
+                rng=rng,
+            )
+    return result
+
+
+def run_figure2(
+    input_sizes: Sequence[int] = DEFAULT_INPUT_SIZES,
+    relevant_fractions: Sequence[float] = DEFAULT_RELEVANT_FRACTIONS,
+    *,
+    n_dimensions: int = 3000,
+    n_clusters: int = 5,
+    grid_dimensions: int = 3,
+    n_grids: int = 20,
+) -> KnowledgeAnalysisResult:
+    """Figure 2: probability of an exclusively-relevant grid vs. labeled dimensions."""
+    probabilities = np.zeros((len(relevant_fractions), len(input_sizes)))
+    for row, fraction in enumerate(relevant_fractions):
+        for column, size in enumerate(input_sizes):
+            probabilities[row, column] = grid_success_probability_labeled_dimensions(
+                int(size),
+                n_dimensions=n_dimensions,
+                relevant_fraction=float(fraction),
+                n_clusters=n_clusters,
+                grid_dimensions=grid_dimensions,
+                n_grids=n_grids,
+            )
+    return KnowledgeAnalysisResult(
+        input_sizes=[int(s) for s in input_sizes],
+        relevant_fractions=[float(f) for f in relevant_fractions],
+        probabilities=probabilities,
+    )
+
+
+def _simulate_labeled_objects(
+    input_sizes: Sequence[int],
+    relevant_fraction: float,
+    *,
+    n_dimensions: int,
+    p: float,
+    grid_dimensions: int,
+    n_grids: int,
+    variance_ratio: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Monte-Carlo estimate of the Figure-1 probability.
+
+    For every trial the candidate set is drawn dimension by dimension
+    (relevant dimensions pass ``SelectDim`` with the chi-square retention
+    probability, irrelevant ones with probability ``p``) and ``n_grids``
+    grids of ``grid_dimensions`` uniform draws are taken from it; the
+    trial succeeds when at least one grid is all-relevant.
+    """
+    from repro.core.analysis import relevant_dimension_retention_probability
+
+    n_relevant = int(round(relevant_fraction * n_dimensions))
+    estimates = np.zeros(len(input_sizes))
+    for column, size in enumerate(input_sizes):
+        if size < 2:
+            estimates[column] = 0.0
+            continue
+        q_relevant = relevant_dimension_retention_probability(int(size), p, variance_ratio)
+        successes = 0
+        for _ in range(trials):
+            kept_relevant = int(rng.binomial(n_relevant, q_relevant))
+            kept_irrelevant = int(rng.binomial(n_dimensions - n_relevant, p))
+            total = kept_relevant + kept_irrelevant
+            if total < grid_dimensions or kept_relevant < grid_dimensions:
+                continue
+            success = False
+            for _ in range(n_grids):
+                draw = rng.choice(total, size=grid_dimensions, replace=False)
+                if np.all(draw < kept_relevant):
+                    success = True
+                    break
+            successes += int(success)
+        estimates[column] = successes / trials
+    return estimates

@@ -1,0 +1,161 @@
+"""Experiments E9-E10: scalability in n and d (Figure 8).
+
+The paper plots the total execution time of 10 repeated runs of SSPC and
+PROCLUS against an increasing number of objects (Figure 8a) and an
+increasing number of dimensions (Figure 8b), showing linear growth in
+both and comparable speed between the two algorithms.  Absolute timings
+depend on the hardware; the reproduced quantity is the *shape* (linear
+scaling, comparable magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines import PROCLUS
+from repro.core.sspc import SSPC
+from repro.data.generator import make_projected_clusters
+from repro.utils.rng import RandomState, ensure_rng, random_seed_from
+
+DEFAULT_OBJECT_COUNTS = (500, 1000, 2000, 4000)
+DEFAULT_DIMENSION_COUNTS = (100, 200, 400, 800)
+
+
+@dataclass
+class ScalabilityRow:
+    """Total runtime of repeated runs for one algorithm and dataset size."""
+
+    algorithm: str
+    axis: str
+    size: int
+    total_seconds: float
+    n_repeats: int
+
+
+def _time_runs(factory, data: np.ndarray, n_repeats: int) -> float:
+    total = 0.0
+    for _ in range(n_repeats):
+        estimator = factory()
+        started = time.perf_counter()
+        estimator.fit(data)
+        total += time.perf_counter() - started
+    return total
+
+
+def run_scalability(
+    *,
+    object_counts: Sequence[int] = DEFAULT_OBJECT_COUNTS,
+    dimension_counts: Sequence[int] = DEFAULT_DIMENSION_COUNTS,
+    base_objects: int = 1000,
+    base_dimensions: int = 100,
+    n_clusters: int = 5,
+    l_real: int = 10,
+    n_repeats: int = 10,
+    m: float = 0.5,
+    random_state: RandomState = None,
+) -> List[ScalabilityRow]:
+    """Measure 10-run total times of SSPC and PROCLUS along both axes.
+
+    Parameters
+    ----------
+    object_counts:
+        Values of ``n`` swept while ``d = base_dimensions`` (Figure 8a).
+    dimension_counts:
+        Values of ``d`` swept while ``n = base_objects`` (Figure 8b).
+    n_repeats:
+        Repeated runs whose total time is reported (paper: 10).
+    """
+    rng = ensure_rng(random_state)
+    rows: List[ScalabilityRow] = []
+
+    def algorithms(l_value: float):
+        return {
+            "SSPC": lambda: SSPC(n_clusters=n_clusters, m=m, random_state=random_seed_from(rng)),
+            "PROCLUS": lambda: PROCLUS(
+                n_clusters=n_clusters, avg_dimensions=l_value, random_state=random_seed_from(rng)
+            ),
+        }
+
+    for n_objects in object_counts:
+        dataset = make_projected_clusters(
+            n_objects=int(n_objects),
+            n_dimensions=base_dimensions,
+            n_clusters=n_clusters,
+            avg_cluster_dimensionality=l_real,
+            random_state=random_seed_from(rng),
+        )
+        for name, factory in algorithms(float(l_real)).items():
+            rows.append(
+                ScalabilityRow(
+                    algorithm=name,
+                    axis="n_objects",
+                    size=int(n_objects),
+                    total_seconds=_time_runs(factory, dataset.data, n_repeats),
+                    n_repeats=n_repeats,
+                )
+            )
+
+    for n_dimensions in dimension_counts:
+        l_scaled = max(int(round(l_real * n_dimensions / base_dimensions)), 2)
+        dataset = make_projected_clusters(
+            n_objects=base_objects,
+            n_dimensions=int(n_dimensions),
+            n_clusters=n_clusters,
+            avg_cluster_dimensionality=l_scaled,
+            random_state=random_seed_from(rng),
+        )
+        for name, factory in algorithms(float(l_scaled)).items():
+            rows.append(
+                ScalabilityRow(
+                    algorithm=name,
+                    axis="n_dimensions",
+                    size=int(n_dimensions),
+                    total_seconds=_time_runs(factory, dataset.data, n_repeats),
+                    n_repeats=n_repeats,
+                )
+            )
+    return rows
+
+
+def format_scalability_table(rows: Sequence[ScalabilityRow]) -> str:
+    """Figure-8 style table, one block per axis."""
+    lines: List[str] = []
+    for axis in ("n_objects", "n_dimensions"):
+        axis_rows = [row for row in rows if row.axis == axis]
+        if not axis_rows:
+            continue
+        lines.append("axis: %s (total seconds over %d runs)" % (axis, axis_rows[0].n_repeats))
+        algorithms = sorted({row.algorithm for row in axis_rows})
+        sizes = sorted({row.size for row in axis_rows})
+        lines.append("%-12s" % "size" + "".join("%12s" % a for a in algorithms))
+        for size in sizes:
+            cells = ["%-12d" % size]
+            for algorithm in algorithms:
+                match = [r for r in axis_rows if r.size == size and r.algorithm == algorithm]
+                cells.append("%12.2f" % match[0].total_seconds if match else "%12s" % "-")
+            lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def linear_fit_quality(rows: Sequence[ScalabilityRow], algorithm: str, axis: str) -> Dict[str, float]:
+    """R-squared of a linear fit of runtime vs. size (used by tests/benches).
+
+    A value close to 1 supports the paper's linear-complexity claim.
+    """
+    points = sorted(
+        [(row.size, row.total_seconds) for row in rows if row.algorithm == algorithm and row.axis == axis]
+    )
+    if len(points) < 3:
+        return {"r_squared": float("nan"), "slope": float("nan")}
+    sizes = np.asarray([p[0] for p in points], dtype=float)
+    times = np.asarray([p[1] for p in points], dtype=float)
+    slope, intercept = np.polyfit(sizes, times, 1)
+    predicted = slope * sizes + intercept
+    residual = ((times - predicted) ** 2).sum()
+    total = ((times - times.mean()) ** 2).sum()
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return {"r_squared": float(r_squared), "slope": float(slope)}

@@ -1,0 +1,31 @@
+"""Semi-supervision inputs: labeled objects, labeled dimensions, constraints.
+
+The paper defines two kinds of domain knowledge (Section 3):
+
+* a set ``Io`` of labeled objects — ``(object id, class label)`` pairs —
+  each stating that the object belongs to the class, and
+* a set ``Iv`` of labeled dimensions — ``(dimension id, class label)``
+  pairs — each stating that the dimension is relevant to the class.
+
+Neither set needs to cover all classes, and the same dimension may be
+labeled for several classes.  :class:`Knowledge` bundles both sets; the
+``sampling`` module draws knowledge from a ground-truth description
+following the protocol of Section 5.3 (coverage ratio x input size); the
+``constraints`` and ``noise`` modules implement the future-work
+extensions discussed in Sections 2.2 and 6.
+"""
+
+from repro.semisupervision.knowledge import Knowledge, LabeledDimensions, LabeledObjects
+from repro.semisupervision.sampling import KnowledgeSampler, sample_knowledge
+from repro.semisupervision.constraints import PairwiseConstraints
+from repro.semisupervision.noise import KnowledgeValidator
+
+__all__ = [
+    "Knowledge",
+    "LabeledObjects",
+    "LabeledDimensions",
+    "KnowledgeSampler",
+    "sample_knowledge",
+    "PairwiseConstraints",
+    "KnowledgeValidator",
+]

@@ -1,0 +1,168 @@
+"""Pairwise must-link / cannot-link constraints (extension).
+
+The paper's related-work section (2.2) surveys semi-supervised clustering
+methods driven by instance-level constraints; its own algorithm uses
+labeled objects and dimensions instead.  This module implements the
+constraint representation as an extension so the SSPC assignment step can
+optionally honour must-link / cannot-link pairs, mirroring constrained
+k-means style behaviour.
+
+Constraints are stored symmetrically and closed transitively for
+must-links (if a~b and b~c then a~c), which is the standard treatment in
+the constrained-clustering literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PairwiseConstraints:
+    """A set of must-link and cannot-link object pairs.
+
+    Attributes
+    ----------
+    must_links:
+        Pairs of object indices that must share a cluster.
+    cannot_links:
+        Pairs of object indices that must not share a cluster.
+    """
+
+    must_links: List[Tuple[int, int]] = field(default_factory=list)
+    cannot_links: List[Tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        must_links: Iterable[Tuple[int, int]] = (),
+        cannot_links: Iterable[Tuple[int, int]] = (),
+    ) -> "PairwiseConstraints":
+        """Build a constraint set from raw index pairs."""
+        instance = cls()
+        for a, b in must_links:
+            instance.add_must_link(int(a), int(b))
+        for a, b in cannot_links:
+            instance.add_cannot_link(int(a), int(b))
+        instance.check_consistency()
+        return instance
+
+    def add_must_link(self, a: int, b: int) -> None:
+        """Record that objects ``a`` and ``b`` belong together."""
+        self._check_pair(a, b)
+        self.must_links.append((min(a, b), max(a, b)))
+
+    def add_cannot_link(self, a: int, b: int) -> None:
+        """Record that objects ``a`` and ``b`` must be separated."""
+        self._check_pair(a, b)
+        self.cannot_links.append((min(a, b), max(a, b)))
+
+    @staticmethod
+    def _check_pair(a: int, b: int) -> None:
+        if a < 0 or b < 0:
+            raise ValueError("object indices must be non-negative")
+        if a == b:
+            raise ValueError("a constraint must involve two distinct objects")
+
+    def is_empty(self) -> bool:
+        """Whether no constraints were supplied."""
+        return not self.must_links and not self.cannot_links
+
+    def must_link_components(self) -> List[Set[int]]:
+        """Transitively closed must-link groups (connected components)."""
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: int, y: int) -> None:
+            root_x, root_y = find(x), find(y)
+            if root_x != root_y:
+                parent[root_x] = root_y
+
+        for a, b in self.must_links:
+            union(a, b)
+        groups: Dict[int, Set[int]] = {}
+        for node in parent:
+            groups.setdefault(find(node), set()).add(node)
+        return [group for group in groups.values() if len(group) > 1]
+
+    def check_consistency(self) -> None:
+        """Raise if a cannot-link contradicts the must-link closure."""
+        components = self.must_link_components()
+        index_of: Dict[int, int] = {}
+        for comp_id, component in enumerate(components):
+            for node in component:
+                index_of[node] = comp_id
+        for a, b in self.cannot_links:
+            if a in index_of and b in index_of and index_of[a] == index_of[b]:
+                raise ValueError(
+                    "inconsistent constraints: %d and %d are must-linked (transitively) "
+                    "but also cannot-linked" % (a, b)
+                )
+
+    def violations(self, labels: np.ndarray) -> int:
+        """Count how many constraints a membership assignment violates.
+
+        Outliers (label ``-1``) violate any must-link they participate in
+        and never violate cannot-links, matching the convention that an
+        unassigned object is in no cluster.
+        """
+        labels = np.asarray(labels)
+        count = 0
+        for a, b in self.must_links:
+            if labels[a] == -1 or labels[b] == -1 or labels[a] != labels[b]:
+                count += 1
+        for a, b in self.cannot_links:
+            if labels[a] != -1 and labels[a] == labels[b]:
+                count += 1
+        return count
+
+    def allowed_clusters(
+        self,
+        object_index: int,
+        labels: np.ndarray,
+        n_clusters: int,
+    ) -> np.ndarray:
+        """Clusters ``object_index`` may join given the current assignment.
+
+        Must-links force the object into the cluster of any already
+        assigned partner; cannot-links exclude the clusters of the
+        partners.  When the constraints are unsatisfiable for the current
+        assignment the full range is returned (the caller then falls back
+        to the unconstrained behaviour rather than dead-locking).
+        """
+        labels = np.asarray(labels)
+        allowed = np.ones(n_clusters, dtype=bool)
+        forced: Set[int] = set()
+        for a, b in self.must_links:
+            if a == object_index and labels[b] >= 0:
+                forced.add(int(labels[b]))
+            elif b == object_index and labels[a] >= 0:
+                forced.add(int(labels[a]))
+        for a, b in self.cannot_links:
+            partner = None
+            if a == object_index:
+                partner = b
+            elif b == object_index:
+                partner = a
+            if partner is not None and labels[partner] >= 0:
+                allowed[int(labels[partner])] = False
+        if forced:
+            mask = np.zeros(n_clusters, dtype=bool)
+            for cluster in forced:
+                mask[cluster] = True
+            combined = mask & allowed
+            if combined.any():
+                return np.flatnonzero(combined)
+            return np.flatnonzero(mask)
+        if allowed.any():
+            return np.flatnonzero(allowed)
+        return np.arange(n_clusters)

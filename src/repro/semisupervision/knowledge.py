@@ -1,0 +1,233 @@
+"""Containers for labeled objects and labeled dimensions.
+
+The containers are deliberately thin: they validate the input pairs,
+group them by class label and expose the per-class views that SSPC's
+initialisation (Section 4.2 of the paper) needs — ``Io_i`` and ``Iv_i``
+for each target cluster ``C_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _group_pairs(pairs: Iterable[Tuple[int, int]], *, kind: str) -> Dict[int, List[int]]:
+    """Group ``(id, class label)`` pairs by class label with validation."""
+    grouped: Dict[int, List[int]] = {}
+    for position, pair in enumerate(pairs):
+        try:
+            identifier, label = pair
+        except (TypeError, ValueError):
+            raise ValueError(
+                "%s entry %d is not an (id, class label) pair: %r" % (kind, position, pair)
+            )
+        identifier = int(identifier)
+        label = int(label)
+        if identifier < 0:
+            raise ValueError("%s ids must be non-negative, got %d" % (kind, identifier))
+        if label < 0:
+            raise ValueError("class labels must be non-negative, got %d" % label)
+        grouped.setdefault(label, [])
+        if identifier not in grouped[label]:
+            grouped[label].append(identifier)
+    return {label: sorted(ids) for label, ids in grouped.items()}
+
+
+@dataclass
+class LabeledObjects:
+    """The set ``Io`` of labeled objects.
+
+    Each entry states that an object is a member of a class.  Unlike the
+    training set of a classifier, the set may cover only some classes and
+    only a handful of objects per class.
+    """
+
+    by_class: Dict[int, List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "LabeledObjects":
+        """Build from ``(object id, class label)`` pairs."""
+        grouped = _group_pairs(pairs, kind="labeled object")
+        instance = cls(by_class=grouped)
+        instance._check_disjoint()
+        return instance
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, Sequence[int]]) -> "LabeledObjects":
+        """Build from a ``{class label: [object ids]}`` mapping."""
+        pairs = [(obj, label) for label, objs in mapping.items() for obj in objs]
+        return cls.from_pairs(pairs)
+
+    def _check_disjoint(self) -> None:
+        seen: Dict[int, int] = {}
+        for label, objects in self.by_class.items():
+            for obj in objects:
+                if obj in seen and seen[obj] != label:
+                    raise ValueError(
+                        "object %d is labeled for two different classes (%d and %d); "
+                        "the paper assumes disjoint clusters" % (obj, seen[obj], label)
+                    )
+                seen[obj] = label
+
+    def classes(self) -> List[int]:
+        """Class labels that received at least one labeled object."""
+        return sorted(self.by_class)
+
+    def for_class(self, label: int) -> np.ndarray:
+        """Object indices labeled for ``label`` (possibly empty)."""
+        return np.asarray(self.by_class.get(int(label), []), dtype=int)
+
+    def count(self, label: Optional[int] = None) -> int:
+        """Number of labeled objects overall or for one class."""
+        if label is not None:
+            return len(self.by_class.get(int(label), []))
+        return sum(len(objs) for objs in self.by_class.values())
+
+    def all_objects(self) -> np.ndarray:
+        """Every labeled object index, over all classes."""
+        collected: List[int] = []
+        for objs in self.by_class.values():
+            collected.extend(objs)
+        return np.asarray(sorted(set(collected)), dtype=int)
+
+    def is_empty(self) -> bool:
+        """Whether no labeled objects were supplied."""
+        return self.count() == 0
+
+    def validate_against(self, n_objects: int) -> None:
+        """Raise if any labeled object index is outside ``[0, n_objects)``."""
+        objects = self.all_objects()
+        if objects.size and objects.max() >= n_objects:
+            raise ValueError(
+                "labeled object index %d is outside the dataset (n=%d)"
+                % (int(objects.max()), n_objects)
+            )
+
+
+@dataclass
+class LabeledDimensions:
+    """The set ``Iv`` of labeled dimensions.
+
+    Each entry states that a dimension is relevant to a class; the same
+    dimension may legitimately be labeled for several classes.
+    """
+
+    by_class: Dict[int, List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "LabeledDimensions":
+        """Build from ``(dimension id, class label)`` pairs."""
+        return cls(by_class=_group_pairs(pairs, kind="labeled dimension"))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, Sequence[int]]) -> "LabeledDimensions":
+        """Build from a ``{class label: [dimension ids]}`` mapping."""
+        pairs = [(dim, label) for label, dims in mapping.items() for dim in dims]
+        return cls.from_pairs(pairs)
+
+    def classes(self) -> List[int]:
+        """Class labels that received at least one labeled dimension."""
+        return sorted(self.by_class)
+
+    def for_class(self, label: int) -> np.ndarray:
+        """Dimension indices labeled for ``label`` (possibly empty)."""
+        return np.asarray(self.by_class.get(int(label), []), dtype=int)
+
+    def count(self, label: Optional[int] = None) -> int:
+        """Number of labeled dimensions overall or for one class."""
+        if label is not None:
+            return len(self.by_class.get(int(label), []))
+        return sum(len(dims) for dims in self.by_class.values())
+
+    def is_empty(self) -> bool:
+        """Whether no labeled dimensions were supplied."""
+        return self.count() == 0
+
+    def validate_against(self, n_dimensions: int) -> None:
+        """Raise if any labeled dimension index is outside ``[0, n_dimensions)``."""
+        for label, dims in self.by_class.items():
+            for dim in dims:
+                if dim >= n_dimensions:
+                    raise ValueError(
+                        "labeled dimension %d for class %d is outside the dataset (d=%d)"
+                        % (dim, label, n_dimensions)
+                    )
+
+
+@dataclass
+class Knowledge:
+    """Bundle of the two knowledge sets fed to SSPC.
+
+    Attributes
+    ----------
+    objects:
+        The labeled-object set ``Io``.
+    dimensions:
+        The labeled-dimension set ``Iv``.
+    """
+
+    objects: LabeledObjects = field(default_factory=LabeledObjects)
+    dimensions: LabeledDimensions = field(default_factory=LabeledDimensions)
+
+    @classmethod
+    def empty(cls) -> "Knowledge":
+        """No knowledge at all — SSPC then behaves fully unsupervised."""
+        return cls()
+
+    @classmethod
+    def from_pairs(
+        cls,
+        object_pairs: Iterable[Tuple[int, int]] = (),
+        dimension_pairs: Iterable[Tuple[int, int]] = (),
+    ) -> "Knowledge":
+        """Build from raw ``(id, class label)`` pair iterables."""
+        return cls(
+            objects=LabeledObjects.from_pairs(object_pairs),
+            dimensions=LabeledDimensions.from_pairs(dimension_pairs),
+        )
+
+    def classes(self) -> List[int]:
+        """All class labels mentioned by either knowledge set."""
+        return sorted(set(self.objects.classes()) | set(self.dimensions.classes()))
+
+    def knowledge_kind(self, label: int) -> str:
+        """Classification of the knowledge available for one class.
+
+        Returns one of ``"both"``, ``"objects"``, ``"dimensions"`` or
+        ``"none"`` — the four initialisation cases of Section 4.2.
+        """
+        has_objects = self.objects.count(label) > 0
+        has_dimensions = self.dimensions.count(label) > 0
+        if has_objects and has_dimensions:
+            return "both"
+        if has_objects:
+            return "objects"
+        if has_dimensions:
+            return "dimensions"
+        return "none"
+
+    def amount(self, label: int) -> int:
+        """Total number of knowledge items supplied for one class."""
+        return self.objects.count(label) + self.dimensions.count(label)
+
+    def is_empty(self) -> bool:
+        """Whether neither labeled objects nor labeled dimensions exist."""
+        return self.objects.is_empty() and self.dimensions.is_empty()
+
+    def validate_against(self, n_objects: int, n_dimensions: int, n_clusters: int) -> None:
+        """Validate all indices and class labels against dataset shape / k."""
+        self.objects.validate_against(n_objects)
+        self.dimensions.validate_against(n_dimensions)
+        for label in self.classes():
+            if label >= n_clusters:
+                raise ValueError(
+                    "knowledge mentions class %d but only %d clusters were requested"
+                    % (label, n_clusters)
+                )
+
+    def labeled_object_indices(self) -> np.ndarray:
+        """All labeled object indices (used to strip them before ARI)."""
+        return self.objects.all_objects()

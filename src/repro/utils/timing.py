@@ -1,0 +1,73 @@
+"""Lightweight timing helpers used by the scalability experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulate named wall-clock timings.
+
+    The scalability experiment (Figure 8 of the paper) reports the total
+    execution time of ten repeated runs.  ``Stopwatch`` collects the
+    per-run durations so the harness can report totals, means and
+    medians without re-running anything.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("run"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("run") >= 0.0
+    True
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    def measure(self, label: str) -> "_StopwatchContext":
+        """Return a context manager recording one duration under ``label``."""
+        return _StopwatchContext(self, label)
+
+    def add(self, label: str, duration: float) -> None:
+        """Record an externally measured ``duration`` (seconds)."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.records.setdefault(label, []).append(float(duration))
+
+    def total(self, label: str) -> float:
+        """Total recorded seconds for ``label`` (0.0 when unknown)."""
+        return float(sum(self.records.get(label, [])))
+
+    def count(self, label: str) -> int:
+        """Number of measurements recorded for ``label``."""
+        return len(self.records.get(label, []))
+
+    def mean(self, label: str) -> float:
+        """Mean duration for ``label``; raises if nothing was recorded."""
+        values = self.records.get(label)
+        if not values:
+            raise KeyError("no measurements recorded for label %r" % label)
+        return float(sum(values) / len(values))
+
+    def labels(self) -> List[str]:
+        """All labels with at least one measurement."""
+        return sorted(self.records)
+
+
+class _StopwatchContext:
+    """Context manager produced by :meth:`Stopwatch.measure`."""
+
+    def __init__(self, watch: Stopwatch, label: str) -> None:
+        self._watch = watch
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_StopwatchContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self._watch.add(self._label, time.perf_counter() - self._start)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Fixtures generate small synthetic datasets (tens to a few hundred
+objects) so the full suite runs in seconds while still exercising the
+projected-cluster structure the algorithms are built for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.objective import ObjectiveFunction
+from repro.core.thresholds import VarianceRatioThreshold
+from repro.data.generator import make_projected_clusters
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, easy projected-cluster dataset (3 clusters, 40 dims)."""
+    return make_projected_clusters(
+        n_objects=240,
+        n_dimensions=40,
+        n_clusters=3,
+        avg_cluster_dimensionality=6,
+        random_state=1234,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small dataset for fast unit tests of core components."""
+    return make_projected_clusters(
+        n_objects=90,
+        n_dimensions=20,
+        n_clusters=3,
+        avg_cluster_dimensionality=4,
+        random_state=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def low_dim_dataset():
+    """Extremely low-dimensionality dataset (relevant dims = 2% of d)."""
+    return make_projected_clusters(
+        n_objects=150,
+        n_dimensions=500,
+        n_clusters=5,
+        avg_cluster_dimensionality=10,
+        random_state=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def outlier_dataset():
+    """Dataset with 15% generated outliers."""
+    return make_projected_clusters(
+        n_objects=300,
+        n_dimensions=40,
+        n_clusters=3,
+        avg_cluster_dimensionality=8,
+        outlier_fraction=0.15,
+        random_state=99,
+    )
+
+
+@pytest.fixture()
+def objective_small(small_dataset):
+    """An ObjectiveFunction fitted on the small dataset with m = 0.5."""
+    return ObjectiveFunction(small_dataset.data, VarianceRatioThreshold(m=0.5))
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic numpy Generator for per-test randomness."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,117 @@
+"""Tests for the Adjusted Rand Index (Eq. 5), including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.ari import adjusted_rand_index, hubert_arabie_ari, pair_counts
+
+label_vectors = st.lists(st.integers(min_value=-1, max_value=4), min_size=2, max_size=40)
+
+
+class TestPairCounts:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2]
+        a, b, c, d = pair_counts(labels, labels)
+        assert b == 0 and c == 0
+        assert a == 2  # pairs (0,1) and (2,3)
+        assert a + b + c + d == 10  # C(5, 2)
+
+    def test_known_small_example(self):
+        true = [0, 0, 1, 1]
+        pred = [0, 1, 0, 1]
+        a, b, c, d = pair_counts(true, pred)
+        assert (a, b, c, d) == (0, 2, 2, 2)
+
+    def test_outliers_as_singletons_penalise_discarding(self):
+        true = [0, 0, 0, 1, 1, 1]
+        pred_all = [0, 0, 0, 1, 1, 1]
+        pred_discard = [0, 0, -1, 1, 1, -1]
+        assert adjusted_rand_index(true, pred_all) > adjusted_rand_index(true, pred_discard)
+
+    def test_outlier_dropping_mode(self):
+        true = [0, 0, 1, 1, -1]
+        pred = [0, 0, 1, 1, 2]
+        a, b, c, d = pair_counts(true, pred, outliers_as_singletons=False)
+        assert a + b + c + d == 6  # C(4, 2): the true outlier is dropped
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pair_counts([0, 1], [0, 1, 2])
+
+    def test_single_object(self):
+        assert pair_counts([0], [0]) == (0, 0, 0, 0)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        labels = [0, 1, 2, 0, 1, 2, 0]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_invariance(self):
+        true = [0, 0, 1, 1, 2, 2]
+        pred = [2, 2, 0, 0, 1, 1]
+        assert adjusted_rand_index(true, pred) == pytest.approx(1.0)
+
+    def test_random_partition_near_zero(self):
+        rng = np.random.default_rng(0)
+        true = np.repeat(np.arange(4), 50)
+        values = [
+            adjusted_rand_index(true, rng.integers(0, 4, size=200)) for _ in range(20)
+        ]
+        assert abs(float(np.mean(values))) < 0.05
+
+    def test_single_cluster_vs_split(self):
+        true = [0] * 6
+        pred = [0, 0, 0, 1, 1, 1]
+        value = adjusted_rand_index(true, pred)
+        assert value < 1.0
+
+    def test_worse_than_chance_can_be_negative(self):
+        true = [0, 0, 1, 1]
+        pred = [0, 1, 0, 1]
+        assert adjusted_rand_index(true, pred) < 0.0 or adjusted_rand_index(true, pred) == pytest.approx(
+            -0.5
+        )
+
+    def test_known_value(self):
+        # Hand-computed example: U = {0,0,1,1,1}, V = {0,0,0,1,1}
+        true = [0, 0, 1, 1, 1]
+        pred = [0, 0, 0, 1, 1]
+        a, b, c, d = pair_counts(true, pred)
+        expected = 2 * (a * d - b * c) / ((a + b) * (b + d) + (a + c) * (c + d))
+        assert adjusted_rand_index(true, pred) == pytest.approx(expected)
+
+
+class TestAriProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(true=label_vectors, seed=st.integers(0, 100))
+    def test_paper_formula_matches_hubert_arabie(self, true, seed):
+        """Eq. 5 of the paper is algebraically the Hubert-Arabie ARI."""
+        rng = np.random.default_rng(seed)
+        pred = rng.integers(-1, 3, size=len(true)).tolist()
+        lhs = adjusted_rand_index(true, pred)
+        rhs = hubert_arabie_ari(true, pred)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels=label_vectors)
+    def test_symmetry(self, labels):
+        rng = np.random.default_rng(1)
+        other = rng.integers(-1, 3, size=len(labels)).tolist()
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels=label_vectors)
+    def test_self_comparison_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels=label_vectors, seed=st.integers(0, 100))
+    def test_bounded_above_by_one(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.integers(-1, 4, size=len(labels)).tolist()
+        assert adjusted_rand_index(labels, pred) <= 1.0 + 1e-12

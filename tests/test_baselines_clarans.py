@@ -1,0 +1,59 @@
+"""Tests for the CLARANS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CLARANS
+from repro.evaluation import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(12)
+    centers = np.asarray([[0.0, 0.0, 0.0], [8.0, 8.0, 8.0], [-8.0, 8.0, -8.0], [8.0, -8.0, 0.0]])
+    data = np.vstack([rng.normal(center, 0.7, size=(30, 3)) for center in centers])
+    labels = np.repeat(np.arange(4), 30)
+    return data, labels
+
+
+class TestClarans:
+    def test_recovers_full_space_clusters(self, blobs):
+        data, labels = blobs
+        model = CLARANS(n_clusters=4, random_state=0, max_neighbors=150).fit(data)
+        assert adjusted_rand_index(labels, model.labels_) > 0.9
+
+    def test_fails_on_projected_clusters(self, low_dim_dataset):
+        """The paper's point: full-space distances miss low-dimensional clusters."""
+        model = CLARANS(n_clusters=5, random_state=0, max_neighbors=60).fit(low_dim_dataset.data)
+        assert adjusted_rand_index(low_dim_dataset.labels, model.labels_) < 0.3
+
+    def test_every_object_assigned(self, blobs):
+        data, _ = blobs
+        model = CLARANS(n_clusters=3, random_state=1, max_neighbors=60).fit(data)
+        assert np.all(model.labels_ >= 0)
+
+    def test_cost_is_total_distance_to_medoids(self, blobs):
+        data, _ = blobs
+        model = CLARANS(n_clusters=4, random_state=2, max_neighbors=100).fit(data)
+        distances = np.sqrt(
+            ((data[:, None, :] - data[model.medoid_indices_][None, :, :]) ** 2).sum(axis=2)
+        )
+        assert model.cost_ == pytest.approx(distances.min(axis=1).sum(), rel=1e-9)
+
+    def test_more_local_searches_never_hurt_cost(self, blobs):
+        data, _ = blobs
+        quick = CLARANS(n_clusters=4, num_local=1, max_neighbors=40, random_state=3).fit(data)
+        thorough = CLARANS(n_clusters=4, num_local=4, max_neighbors=40, random_state=3).fit(data)
+        assert thorough.cost_ <= quick.cost_ * 1.05
+
+    def test_result_metadata(self, blobs):
+        data, _ = blobs
+        model = CLARANS(n_clusters=2, random_state=4, max_neighbors=40).fit(data)
+        assert model.result_.algorithm == "CLARANS"
+        assert model.result_.parameters["num_local"] == 2
+
+    def test_reproducible(self, blobs):
+        data, _ = blobs
+        first = CLARANS(n_clusters=3, random_state=11, max_neighbors=50).fit_predict(data)
+        second = CLARANS(n_clusters=3, random_state=11, max_neighbors=50).fit_predict(data)
+        np.testing.assert_array_equal(first, second)

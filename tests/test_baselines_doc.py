@@ -1,0 +1,83 @@
+"""Tests for the DOC / FastDOC baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DOC, FastDOC
+from repro.evaluation import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def hypercube_dataset():
+    """Clusters that really are hyper-boxes — DOC's favourable case."""
+    rng = np.random.default_rng(77)
+    n_per = 60
+    data = rng.uniform(0, 100, size=(3 * n_per + 30, 12))
+    for index, dims in enumerate(([0, 1, 2], [3, 4, 5], [6, 7, 8])):
+        rows = slice(index * n_per, (index + 1) * n_per)
+        center = rng.uniform(20, 80, size=3)
+        data[rows, dims] = center + rng.uniform(-4, 4, size=(n_per, 3))
+    labels = np.concatenate([np.repeat(np.arange(3), n_per), np.full(30, -1)])
+    return data, labels
+
+
+class TestDoc:
+    def test_finds_hypercube_clusters(self, hypercube_dataset):
+        data, labels = hypercube_dataset
+        model = DOC(n_clusters=3, width=8.0, random_state=0, n_outer_trials=15).fit(data)
+        assert adjusted_rand_index(labels, model.labels_) > 0.5
+
+    def test_relevant_dimensions_found(self, hypercube_dataset):
+        data, labels = hypercube_dataset
+        model = DOC(n_clusters=3, width=8.0, random_state=1, n_outer_trials=15).fit(data)
+        true_dim_sets = [{0, 1, 2}, {3, 4, 5}, {6, 7, 8}]
+        hits = 0
+        for dims in model.dimensions_:
+            found = set(int(j) for j in dims)
+            if any(len(found & truth) >= 2 for truth in true_dim_sets):
+                hits += 1
+        assert hits >= 2
+
+    def test_default_width_derived_from_data(self, hypercube_dataset):
+        data, _ = hypercube_dataset
+        model = DOC(n_clusters=2, random_state=2)
+        assert model._effective_width(data) > 0
+
+    def test_quality_function_prefers_more_dimensions(self):
+        model = DOC(n_clusters=1, beta=0.25)
+        assert model._quality(20, 4) > model._quality(20, 2)
+
+    def test_quality_function_trades_size_for_dimensions(self):
+        # With beta = 0.25 one extra dimension is worth a 4x larger cluster.
+        model = DOC(n_clusters=1, beta=0.25)
+        assert model._quality(5, 3) == pytest.approx(model._quality(20, 2))
+
+    def test_unfound_clusters_leave_outliers(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 100, size=(40, 5))
+        model = DOC(n_clusters=3, width=1.0, random_state=3, min_cluster_fraction=0.4).fit(data)
+        assert np.count_nonzero(model.labels_ == -1) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DOC(n_clusters=2, width=-1.0)
+        with pytest.raises(ValueError):
+            DOC(n_clusters=2, beta=0.0)
+
+
+class TestFastDoc:
+    def test_finds_hypercube_clusters(self, hypercube_dataset):
+        data, labels = hypercube_dataset
+        model = FastDOC(n_clusters=3, width=8.0, random_state=4, n_outer_trials=15).fit(data)
+        assert adjusted_rand_index(labels, model.labels_) > 0.4
+
+    def test_result_algorithm_name(self, hypercube_dataset):
+        data, _ = hypercube_dataset
+        model = FastDOC(n_clusters=2, width=8.0, random_state=5).fit(data)
+        assert model.result_.algorithm == "FastDOC"
+
+    def test_reproducible(self, hypercube_dataset):
+        data, _ = hypercube_dataset
+        first = FastDOC(n_clusters=3, width=8.0, random_state=6).fit_predict(data)
+        second = FastDOC(n_clusters=3, width=8.0, random_state=6).fit_predict(data)
+        np.testing.assert_array_equal(first, second)

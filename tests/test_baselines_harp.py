@@ -1,0 +1,55 @@
+"""Tests for the HARP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HARP
+from repro.evaluation import adjusted_rand_index
+
+
+class TestHarp:
+    def test_produces_k_clusters(self, tiny_dataset):
+        model = HARP(n_clusters=3, random_state=0).fit(tiny_dataset.data)
+        labels = model.labels_
+        assert len([c for c in np.unique(labels) if c >= 0]) <= 3
+        assert labels.shape == (tiny_dataset.n_objects,)
+
+    def test_reasonable_accuracy_on_moderate_dimensionality(self, small_dataset):
+        model = HARP(n_clusters=3, random_state=1).fit(small_dataset.data)
+        assert adjusted_rand_index(small_dataset.labels, model.labels_) > 0.3
+
+    def test_selected_dimensions_reported(self, small_dataset):
+        model = HARP(n_clusters=3, random_state=2).fit(small_dataset.data)
+        assert len(model.dimensions_) <= 3
+        for dims in model.dimensions_:
+            assert dims.size >= 1
+            assert np.all(dims < small_dataset.n_dimensions)
+
+    def test_every_object_in_some_cluster(self, tiny_dataset):
+        model = HARP(n_clusters=3, random_state=3).fit(tiny_dataset.data)
+        assert np.count_nonzero(model.labels_ == -1) <= tiny_dataset.n_objects * 0.1
+
+    def test_threshold_schedule_is_monotone(self):
+        model = HARP(n_clusters=2, n_threshold_levels=5, max_relevance=0.9, min_relevance=0.1)
+        relevances = [model._thresholds_at(level, 100)[0] for level in range(5)]
+        min_counts = [model._thresholds_at(level, 100)[1] for level in range(5)]
+        assert all(b <= a for a, b in zip(relevances, relevances[1:]))
+        assert all(b <= a for a, b in zip(min_counts, min_counts[1:]))
+        assert relevances[0] == pytest.approx(0.9)
+        assert relevances[-1] == pytest.approx(0.1)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HARP(n_clusters=2, max_relevance=0.3, min_relevance=0.5)
+        with pytest.raises(ValueError):
+            HARP(n_clusters=2, min_selected_fraction=0.0)
+
+    def test_result_object(self, tiny_dataset):
+        model = HARP(n_clusters=3, random_state=4).fit(tiny_dataset.data)
+        assert model.result_.algorithm == "HARP"
+        assert model.result_.n_objects == tiny_dataset.n_objects
+
+    def test_reproducible(self, tiny_dataset):
+        first = HARP(n_clusters=3, random_state=6).fit_predict(tiny_dataset.data)
+        second = HARP(n_clusters=3, random_state=6).fit_predict(tiny_dataset.data)
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,94 @@
+"""Tests for the k-means / k-medoids substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KMeans, KMedoids
+from repro.evaluation import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Three well-separated full-space Gaussian blobs."""
+    rng = np.random.default_rng(8)
+    centers = np.asarray([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    data = np.vstack([rng.normal(center, 0.8, size=(40, 2)) for center in centers])
+    labels = np.repeat(np.arange(3), 40)
+    return data, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        data, labels = blobs
+        model = KMeans(n_clusters=3, random_state=0).fit(data)
+        assert adjusted_rand_index(labels, model.labels_) > 0.95
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        data, _ = blobs
+        one = KMeans(n_clusters=1, random_state=0).fit(data).inertia_
+        three = KMeans(n_clusters=3, random_state=0).fit(data).inertia_
+        assert three < one
+
+    def test_result_object(self, blobs):
+        data, _ = blobs
+        model = KMeans(n_clusters=3, random_state=1).fit(data)
+        assert model.result_.algorithm == "KMeans"
+        assert model.result_.n_clusters == 3
+        np.testing.assert_array_equal(model.result_.labels(), model.labels_)
+
+    def test_centers_shape(self, blobs):
+        data, _ = blobs
+        model = KMeans(n_clusters=3, random_state=2).fit(data)
+        assert model.centers_.shape == (3, data.shape[1])
+
+    def test_reproducible(self, blobs):
+        data, _ = blobs
+        first = KMeans(n_clusters=3, random_state=5).fit_predict(data)
+        second = KMeans(n_clusters=3, random_state=5).fit_predict(data)
+        np.testing.assert_array_equal(first, second)
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((5, 2)) + np.arange(5)[:, None])
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2, tolerance=-1.0)
+
+
+class TestKMedoids:
+    def test_recovers_blobs(self, blobs):
+        data, labels = blobs
+        model = KMedoids(n_clusters=3, random_state=0).fit(data)
+        assert adjusted_rand_index(labels, model.labels_) > 0.9
+
+    def test_medoids_are_data_points(self, blobs):
+        data, _ = blobs
+        model = KMedoids(n_clusters=3, random_state=1).fit(data)
+        assert model.medoid_indices_.shape == (3,)
+        assert np.all((model.medoid_indices_ >= 0) & (model.medoid_indices_ < data.shape[0]))
+
+    def test_projected_subspace_mode(self, small_dataset):
+        """Restricting distances to a cluster's true subspace finds that cluster."""
+        dims = small_dataset.relevant_dimensions[0]
+        model = KMedoids(n_clusters=3, dimensions=dims, random_state=0).fit(small_dataset.data)
+        # The cluster whose relevant dims were used should be recovered well:
+        # at least one produced cluster overlaps it strongly.
+        true_members = set(np.flatnonzero(small_dataset.labels == 0).tolist())
+        overlaps = []
+        for cluster in range(3):
+            produced = set(np.flatnonzero(model.labels_ == cluster).tolist())
+            if produced:
+                overlaps.append(len(true_members & produced) / len(true_members))
+        assert max(overlaps) > 0.7
+
+    def test_cost_positive(self, blobs):
+        data, _ = blobs
+        model = KMedoids(n_clusters=2, random_state=3).fit(data)
+        assert model.cost_ > 0
+
+    def test_reproducible(self, blobs):
+        data, _ = blobs
+        first = KMedoids(n_clusters=3, random_state=9).fit_predict(data)
+        second = KMedoids(n_clusters=3, random_state=9).fit_predict(data)
+        np.testing.assert_array_equal(first, second)

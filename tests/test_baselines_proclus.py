@@ -1,0 +1,69 @@
+"""Tests for the PROCLUS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PROCLUS
+from repro.evaluation import adjusted_rand_index, dimension_selection_scores
+
+
+class TestProclus:
+    def test_recovers_moderate_dimensionality_clusters(self, small_dataset):
+        model = PROCLUS(
+            n_clusters=3,
+            avg_dimensions=small_dataset.average_dimensionality(),
+            random_state=0,
+        ).fit(small_dataset.data)
+        assert adjusted_rand_index(small_dataset.labels, model.labels_) > 0.5
+
+    def test_selected_dimension_counts_respect_l(self, small_dataset):
+        l_value = 6
+        model = PROCLUS(n_clusters=3, avg_dimensions=l_value, random_state=1).fit(small_dataset.data)
+        total = sum(dims.size for dims in model.dimensions_)
+        assert total == l_value * 3
+        assert all(dims.size >= 2 for dims in model.dimensions_)
+
+    def test_dimension_recovery_with_correct_l(self, small_dataset):
+        model = PROCLUS(
+            n_clusters=3,
+            avg_dimensions=small_dataset.average_dimensionality(),
+            random_state=2,
+        ).fit(small_dataset.data)
+        scores = dimension_selection_scores(small_dataset.relevant_dimensions, model.dimensions_)
+        assert scores.recall > 0.4
+
+    def test_sensitive_to_wrong_l(self, small_dataset):
+        """Figure 4's phenomenon: accuracy degrades when l is badly wrong."""
+        correct = PROCLUS(n_clusters=3, avg_dimensions=6, random_state=3).fit(small_dataset.data)
+        wrong = PROCLUS(n_clusters=3, avg_dimensions=30, random_state=3).fit(small_dataset.data)
+        ari_correct = adjusted_rand_index(small_dataset.labels, correct.labels_)
+        ari_wrong = adjusted_rand_index(small_dataset.labels, wrong.labels_)
+        assert ari_correct >= ari_wrong - 0.05
+
+    def test_outlier_detection_optional(self, small_dataset):
+        with_outliers = PROCLUS(n_clusters=3, avg_dimensions=6, random_state=4).fit(small_dataset.data)
+        without = PROCLUS(
+            n_clusters=3, avg_dimensions=6, outlier_fraction_radius=None, random_state=4
+        ).fit(small_dataset.data)
+        assert np.all(without.labels_ >= 0)
+        assert np.count_nonzero(with_outliers.labels_ == -1) >= 0
+
+    def test_medoids_are_objects(self, tiny_dataset):
+        model = PROCLUS(n_clusters=3, avg_dimensions=4, random_state=5).fit(tiny_dataset.data)
+        assert model.medoid_indices_.shape == (3,)
+        assert np.all(model.medoid_indices_ < tiny_dataset.n_objects)
+
+    def test_result_object(self, tiny_dataset):
+        model = PROCLUS(n_clusters=3, avg_dimensions=4, random_state=6).fit(tiny_dataset.data)
+        assert model.result_.algorithm == "PROCLUS"
+        assert model.result_.n_clusters == 3
+        assert np.isfinite(model.result_.objective)
+
+    def test_invalid_avg_dimensions(self):
+        with pytest.raises(ValueError):
+            PROCLUS(n_clusters=3, avg_dimensions=0.5)
+
+    def test_reproducible(self, tiny_dataset):
+        first = PROCLUS(n_clusters=3, avg_dimensions=4, random_state=7).fit_predict(tiny_dataset.data)
+        second = PROCLUS(n_clusters=3, avg_dimensions=4, random_state=7).fit_predict(tiny_dataset.data)
+        np.testing.assert_array_equal(first, second)

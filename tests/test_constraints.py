@@ -1,0 +1,96 @@
+"""Tests for must-link / cannot-link constraints (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.semisupervision.constraints import PairwiseConstraints
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        constraints = PairwiseConstraints.from_pairs(
+            must_links=[(0, 1)], cannot_links=[(2, 3)]
+        )
+        assert constraints.must_links == [(0, 1)]
+        assert constraints.cannot_links == [(2, 3)]
+        assert not constraints.is_empty()
+
+    def test_pairs_stored_sorted(self):
+        constraints = PairwiseConstraints.from_pairs(must_links=[(5, 2)])
+        assert constraints.must_links == [(2, 5)]
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseConstraints.from_pairs(must_links=[(1, 1)])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseConstraints.from_pairs(cannot_links=[(-1, 2)])
+
+    def test_inconsistent_constraints_detected(self):
+        with pytest.raises(ValueError):
+            PairwiseConstraints.from_pairs(
+                must_links=[(0, 1), (1, 2)], cannot_links=[(0, 2)]
+            )
+
+    def test_empty(self):
+        assert PairwiseConstraints().is_empty()
+
+
+class TestComponents:
+    def test_transitive_closure(self):
+        constraints = PairwiseConstraints.from_pairs(must_links=[(0, 1), (1, 2), (5, 6)])
+        components = constraints.must_link_components()
+        component_sets = sorted(tuple(sorted(c)) for c in components)
+        assert component_sets == [(0, 1, 2), (5, 6)]
+
+
+class TestViolations:
+    def test_no_violations(self):
+        constraints = PairwiseConstraints.from_pairs(
+            must_links=[(0, 1)], cannot_links=[(0, 2)]
+        )
+        labels = np.asarray([0, 0, 1])
+        assert constraints.violations(labels) == 0
+
+    def test_must_link_violation(self):
+        constraints = PairwiseConstraints.from_pairs(must_links=[(0, 1)])
+        assert constraints.violations(np.asarray([0, 1])) == 1
+
+    def test_must_link_with_outlier_counts_as_violation(self):
+        constraints = PairwiseConstraints.from_pairs(must_links=[(0, 1)])
+        assert constraints.violations(np.asarray([0, -1])) == 1
+
+    def test_cannot_link_violation(self):
+        constraints = PairwiseConstraints.from_pairs(cannot_links=[(0, 1)])
+        assert constraints.violations(np.asarray([2, 2])) == 1
+
+    def test_cannot_link_outliers_never_violate(self):
+        constraints = PairwiseConstraints.from_pairs(cannot_links=[(0, 1)])
+        assert constraints.violations(np.asarray([-1, -1])) == 0
+
+
+class TestAllowedClusters:
+    def test_must_link_forces_partner_cluster(self):
+        constraints = PairwiseConstraints.from_pairs(must_links=[(0, 1)])
+        labels = np.asarray([-1, 2, 0])
+        np.testing.assert_array_equal(constraints.allowed_clusters(0, labels, 3), [2])
+
+    def test_cannot_link_excludes_partner_cluster(self):
+        constraints = PairwiseConstraints.from_pairs(cannot_links=[(0, 1)])
+        labels = np.asarray([-1, 1, 0])
+        allowed = constraints.allowed_clusters(0, labels, 3)
+        assert 1 not in allowed
+        assert set(allowed.tolist()) == {0, 2}
+
+    def test_unconstrained_object_gets_all_clusters(self):
+        constraints = PairwiseConstraints.from_pairs(cannot_links=[(5, 6)])
+        allowed = constraints.allowed_clusters(0, np.asarray([-1] * 7), 4)
+        np.testing.assert_array_equal(allowed, [0, 1, 2, 3])
+
+    def test_unsatisfiable_falls_back_to_all(self):
+        constraints = PairwiseConstraints.from_pairs(cannot_links=[(0, 1), (0, 2)])
+        labels = np.asarray([-1, 0, 1])
+        allowed = constraints.allowed_clusters(0, labels, 2)
+        # Both clusters excluded -> fall back to the full range.
+        np.testing.assert_array_equal(allowed, [0, 1])

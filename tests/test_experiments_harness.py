@@ -1,0 +1,137 @@
+"""Tests for the experiment harness (best-of-repeats protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sspc import SSPC
+from repro.experiments.harness import (
+    AlgorithmSpec,
+    default_algorithms,
+    evaluate_result,
+    format_series_table,
+    run_best_of,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.semisupervision.sampling import sample_knowledge
+
+
+class TestRunBestOf:
+    def test_returns_result_with_configuration(self, tiny_dataset):
+        spec = AlgorithmSpec(
+            name="SSPC",
+            factory=lambda rng: SSPC(n_clusters=3, m=0.5, random_state=rng),
+            supports_knowledge=True,
+        )
+        row = run_best_of(
+            spec,
+            tiny_dataset.data,
+            tiny_dataset.labels,
+            n_repeats=2,
+            random_state=0,
+            configuration={"case": "unit"},
+        )
+        assert row.algorithm == "SSPC"
+        assert row.configuration == {"case": "unit"}
+        assert -1.0 <= row.ari <= 1.0
+        assert row.runtime_seconds > 0.0
+        assert np.isfinite(row.objective)
+
+    def test_knowledge_forwarded_and_stripped(self, tiny_dataset):
+        knowledge = sample_knowledge(
+            tiny_dataset.labels,
+            tiny_dataset.relevant_dimensions,
+            category="both",
+            input_size=3,
+            coverage=1.0,
+            random_state=1,
+        )
+        spec = AlgorithmSpec(
+            name="SSPC",
+            factory=lambda rng: SSPC(n_clusters=3, m=0.5, random_state=rng),
+            supports_knowledge=True,
+        )
+        row = run_best_of(
+            spec,
+            tiny_dataset.data,
+            tiny_dataset.labels,
+            n_repeats=1,
+            knowledge=knowledge,
+            random_state=2,
+        )
+        assert row.ari > 0.3
+
+    def test_best_objective_selected(self, tiny_dataset):
+        """With several repeats the reported objective is the max over runs."""
+        objectives = []
+
+        class Recorder:
+            def __init__(self, rng):
+                self.inner = SSPC(n_clusters=3, m=0.5, random_state=rng)
+
+            def fit(self, data):
+                self.inner.fit(data)
+                objectives.append(self.inner.objective_)
+                return self
+
+            @property
+            def result_(self):
+                return self.inner.result_
+
+        spec = AlgorithmSpec(name="probe", factory=lambda rng: Recorder(rng))
+        row = run_best_of(spec, tiny_dataset.data, tiny_dataset.labels, n_repeats=3, random_state=3)
+        assert row.objective == pytest.approx(max(objectives))
+
+    def test_evaluate_result_strips_labeled_objects(self, tiny_dataset):
+        knowledge = sample_knowledge(
+            tiny_dataset.labels,
+            tiny_dataset.relevant_dimensions,
+            category="objects",
+            input_size=3,
+            coverage=1.0,
+            random_state=4,
+        )
+        model = SSPC(n_clusters=3, m=0.5, random_state=4).fit(tiny_dataset.data, knowledge)
+        with_strip = evaluate_result(model.result_, tiny_dataset.labels, knowledge=knowledge)
+        without = evaluate_result(model.result_, tiny_dataset.labels)
+        assert 0.0 <= with_strip <= 1.0
+        assert without >= with_strip - 1e-9
+
+
+class TestDefaultAlgorithms:
+    def test_line_up_contains_paper_algorithms(self):
+        specs = default_algorithms(5, true_avg_dimensionality=10)
+        names = [spec.name for spec in specs]
+        assert any("SSPC(m" in name for name in names)
+        assert any("SSPC(p" in name for name in names)
+        assert any("PROCLUS" in name for name in names)
+        assert "HARP" in names
+        assert "CLARANS" in names
+
+    def test_optional_baselines_can_be_dropped(self):
+        specs = default_algorithms(
+            5, true_avg_dimensionality=10, include_clarans=False, include_harp=False
+        )
+        names = [spec.name for spec in specs]
+        assert "CLARANS" not in names
+        assert "HARP" not in names
+
+    def test_factories_produce_fresh_estimators(self):
+        specs = default_algorithms(3, true_avg_dimensionality=5)
+        rng = np.random.default_rng(0)
+        first = specs[0].factory(rng)
+        second = specs[0].factory(rng)
+        assert first is not second
+
+
+class TestFormatting:
+    def test_series_table_contains_all_cells(self):
+        rows = [
+            ExperimentResult("A", {"x": 1}, ari=0.5, objective=0.0, runtime_seconds=0.1),
+            ExperimentResult("A", {"x": 2}, ari=0.7, objective=0.0, runtime_seconds=0.1),
+            ExperimentResult("B", {"x": 1}, ari=0.2, objective=0.0, runtime_seconds=0.1),
+        ]
+        table = format_series_table(rows, x_key="x", title="demo")
+        assert "demo" in table
+        assert "0.500" in table and "0.700" in table and "0.200" in table
+        # Missing (B, x=2) cell rendered as a dash.
+        assert "-" in table

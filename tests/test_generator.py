@@ -1,0 +1,207 @@
+"""Tests for the synthetic data generator (Section 3 data model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generator import SyntheticDataGenerator, make_projected_clusters
+
+
+class TestBasicShape:
+    def test_shapes_and_labels(self):
+        dataset = make_projected_clusters(
+            n_objects=120, n_dimensions=30, n_clusters=4, avg_cluster_dimensionality=5, random_state=0
+        )
+        assert dataset.data.shape == (120, 30)
+        assert dataset.labels.shape == (120,)
+        assert dataset.n_clusters == 4
+        assert len(dataset.relevant_dimensions) == 4
+
+    def test_balanced_cluster_sizes(self):
+        dataset = make_projected_clusters(
+            n_objects=100, n_dimensions=20, n_clusters=4, avg_cluster_dimensionality=4, random_state=1
+        )
+        sizes = [dataset.cluster_members(label).size for label in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 100
+
+    def test_unbalanced_sizes_cover_all_objects(self):
+        generator = SyntheticDataGenerator(
+            n_objects=200,
+            n_dimensions=20,
+            n_clusters=5,
+            avg_cluster_dimensionality=4,
+            balanced=False,
+        )
+        dataset = generator.generate(random_state=3)
+        sizes = [dataset.cluster_members(label).size for label in range(5)]
+        assert sum(sizes) == 200
+        assert min(sizes) >= 2
+
+    def test_average_dimensionality_exact_without_spread(self):
+        dataset = make_projected_clusters(
+            n_objects=100, n_dimensions=50, n_clusters=5, avg_cluster_dimensionality=7, random_state=2
+        )
+        assert all(dims.size == 7 for dims in dataset.relevant_dimensions)
+        assert dataset.average_dimensionality() == pytest.approx(7.0)
+
+    def test_dimensionality_spread(self):
+        generator = SyntheticDataGenerator(
+            n_objects=100,
+            n_dimensions=50,
+            n_clusters=5,
+            avg_cluster_dimensionality=8,
+            dimensionality_spread=3,
+        )
+        dataset = generator.generate(random_state=4)
+        sizes = [dims.size for dims in dataset.relevant_dimensions]
+        assert all(5 <= s <= 11 for s in sizes)
+
+    def test_reproducibility(self):
+        first = make_projected_clusters(n_objects=60, n_dimensions=10, n_clusters=3,
+                                        avg_cluster_dimensionality=3, random_state=9)
+        second = make_projected_clusters(n_objects=60, n_dimensions=10, n_clusters=3,
+                                         avg_cluster_dimensionality=3, random_state=9)
+        np.testing.assert_allclose(first.data, second.data)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+
+class TestDataModelProperties:
+    def test_relevant_dimensions_have_reduced_variance(self):
+        """Core property of the model: local variance << global population variance.
+
+        The comparison baseline is the *global population* variance of the
+        uniform distribution (span^2 / 12) rather than the sample column
+        variance, because a dimension relevant to several clusters has a
+        reduced column variance without violating the model.
+        """
+        dataset = make_projected_clusters(
+            n_objects=300, n_dimensions=40, n_clusters=3, avg_cluster_dimensionality=8, random_state=5
+        )
+        low, high = dataset.parameters["value_range"]
+        population_variance = (high - low) ** 2 / 12.0
+        for label, dims in enumerate(dataset.relevant_dimensions):
+            members = dataset.cluster_members(label)
+            local_variance = dataset.data[members][:, dims].var(axis=0, ddof=1)
+            # Local std is at most 10% of the range, i.e. variance <= 12% of
+            # the population variance; allow slack for sampling noise.
+            assert np.all(local_variance < 0.25 * population_variance)
+
+    def test_irrelevant_dimensions_keep_global_spread(self):
+        dataset = make_projected_clusters(
+            n_objects=300, n_dimensions=40, n_clusters=3, avg_cluster_dimensionality=5, random_state=6
+        )
+        global_variance = dataset.data.var(axis=0, ddof=1)
+        for label in range(3):
+            members = dataset.cluster_members(label)
+            irrelevant = np.setdiff1d(np.arange(40), dataset.relevant_dimensions[label])
+            local_variance = dataset.data[members][:, irrelevant].var(axis=0, ddof=1)
+            # On average the irrelevant variance is comparable to the global one.
+            assert np.median(local_variance / global_variance[irrelevant]) > 0.5
+
+    def test_values_within_declared_range(self):
+        dataset = make_projected_clusters(
+            n_objects=100, n_dimensions=20, n_clusters=3, avg_cluster_dimensionality=4,
+            value_range=(-10.0, 10.0), random_state=7,
+        )
+        # Local Gaussians may slightly exceed the range but the bulk must stay inside.
+        inside = np.mean((dataset.data >= -12) & (dataset.data <= 12))
+        assert inside > 0.999
+
+    def test_gaussian_global_distribution(self):
+        dataset = make_projected_clusters(
+            n_objects=400, n_dimensions=10, n_clusters=2, avg_cluster_dimensionality=2,
+            global_distribution="gaussian", random_state=8,
+        )
+        assert dataset.parameters["global_distribution"] == "gaussian"
+        # A Gaussian column has kurtosis near 3 (uniform would be 1.8).
+        irrelevant = np.setdiff1d(
+            np.arange(10),
+            np.concatenate(dataset.relevant_dimensions),
+        )
+        column = dataset.data[:, irrelevant[0]]
+        standardized = (column - column.mean()) / column.std()
+        kurtosis = np.mean(standardized**4)
+        assert kurtosis > 2.3
+
+    def test_outliers_generated(self):
+        dataset = make_projected_clusters(
+            n_objects=200, n_dimensions=20, n_clusters=3, avg_cluster_dimensionality=4,
+            outlier_fraction=0.2, random_state=9,
+        )
+        assert dataset.n_outliers == pytest.approx(40, abs=1)
+        assert dataset.parameters["n_outliers"] == dataset.n_outliers
+
+    def test_local_population_metadata_consistent(self):
+        dataset = make_projected_clusters(
+            n_objects=200, n_dimensions=30, n_clusters=3, avg_cluster_dimensionality=5, random_state=10
+        )
+        for label, dims in enumerate(dataset.relevant_dimensions):
+            members = dataset.cluster_members(label)
+            for dim in dims:
+                mean = dataset.local_means[label][int(dim)]
+                std = dataset.local_stds[label][int(dim)]
+                sample_mean = dataset.data[members, dim].mean()
+                assert abs(sample_mean - mean) < 4 * std
+
+    def test_shared_dimension_probability(self):
+        generator = SyntheticDataGenerator(
+            n_objects=100,
+            n_dimensions=30,
+            n_clusters=4,
+            avg_cluster_dimensionality=6,
+            shared_dimension_probability=1.0,
+        )
+        dataset = generator.generate(random_state=11)
+        first = set(dataset.relevant_dimensions[0].tolist())
+        second = set(dataset.relevant_dimensions[1].tolist())
+        assert first & second
+
+
+class TestValidation:
+    def test_dimensionality_cannot_exceed_d(self):
+        with pytest.raises(ValueError):
+            SyntheticDataGenerator(n_objects=50, n_dimensions=10, n_clusters=2,
+                                   avg_cluster_dimensionality=20)
+
+    def test_too_many_outliers_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDataGenerator(n_objects=20, n_dimensions=10, n_clusters=5,
+                                   avg_cluster_dimensionality=2, outlier_fraction=0.9)
+
+    def test_bad_value_range(self):
+        with pytest.raises(ValueError):
+            SyntheticDataGenerator(n_objects=50, n_dimensions=10, n_clusters=2,
+                                   avg_cluster_dimensionality=2, value_range=(5.0, 5.0))
+
+    def test_bad_distribution_name(self):
+        with pytest.raises(ValueError):
+            SyntheticDataGenerator(n_objects=50, n_dimensions=10, n_clusters=2,
+                                   avg_cluster_dimensionality=2, global_distribution="poisson")
+
+
+class TestGeneratorProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_objects=st.integers(30, 120),
+        n_dimensions=st.integers(5, 30),
+        n_clusters=st.integers(2, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_labels_partition_objects(self, n_objects, n_dimensions, n_clusters, seed):
+        dimensionality = min(3, n_dimensions)
+        dataset = make_projected_clusters(
+            n_objects=n_objects,
+            n_dimensions=n_dimensions,
+            n_clusters=n_clusters,
+            avg_cluster_dimensionality=dimensionality,
+            random_state=seed,
+        )
+        assert dataset.labels.min() >= -1
+        assert dataset.labels.max() == n_clusters - 1
+        sizes = np.bincount(dataset.labels[dataset.labels >= 0], minlength=n_clusters)
+        assert sizes.sum() + dataset.n_outliers == n_objects
+        for dims in dataset.relevant_dimensions:
+            assert np.all((dims >= 0) & (dims < n_dimensions))
+            assert len(set(dims.tolist())) == dims.size

@@ -1,0 +1,115 @@
+"""Tests for the grid (multi-dimensional histogram) engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Grid, one_dimensional_density
+
+
+@pytest.fixture()
+def clustered_data():
+    """200 objects in 10 dims; objects 0-49 concentrated on dims 0-2."""
+    rng = np.random.default_rng(21)
+    data = rng.uniform(0, 100, size=(200, 10))
+    data[:50, 0] = rng.normal(25, 2.0, size=50)
+    data[:50, 1] = rng.normal(60, 2.0, size=50)
+    data[:50, 2] = rng.normal(80, 2.0, size=50)
+    return data
+
+
+class TestGridConstruction:
+    def test_all_objects_fall_in_some_cell(self, clustered_data):
+        grid = Grid(clustered_data, [0, 1, 2], bins_per_dimension=4)
+        total = sum(grid.cell_density(cell) for cell in grid._cells)
+        assert total == clustered_data.shape[0]
+
+    def test_restrict_to_limits_objects(self, clustered_data):
+        subset = np.arange(50, 200)
+        grid = Grid(clustered_data, [0, 1], bins_per_dimension=4, restrict_to=subset)
+        total = sum(grid.cell_density(cell) for cell in grid._cells)
+        assert total == subset.size
+
+    def test_cell_of_point_consistent_with_membership(self, clustered_data):
+        grid = Grid(clustered_data, [0, 1, 2], bins_per_dimension=5)
+        for index in (0, 10, 199):
+            cell = grid.cell_of(clustered_data[index])
+            assert index in grid.cell_members(cell)
+
+    def test_invalid_dimension_rejected(self, clustered_data):
+        with pytest.raises(ValueError):
+            Grid(clustered_data, [0, 99], bins_per_dimension=4)
+
+    def test_requires_at_least_two_bins(self, clustered_data):
+        with pytest.raises(ValueError):
+            Grid(clustered_data, [0], bins_per_dimension=1)
+
+    def test_constant_dimension_handled(self):
+        data = np.column_stack([np.ones(30), np.linspace(0, 1, 30)])
+        grid = Grid(data, [0, 1], bins_per_dimension=3)
+        assert grid.n_cells >= 1
+
+
+class TestPeakSearches:
+    def test_absolute_peak_finds_cluster_core(self, clustered_data):
+        grid = Grid(clustered_data, [0, 1, 2], bins_per_dimension=4)
+        peak = grid.absolute_peak()
+        # The dense region is the 50-object cluster; most peak members belong to it.
+        assert peak.density >= 10
+        assert np.mean(peak.members < 50) >= 0.85
+
+    def test_peak_density_lower_with_irrelevant_dimension(self, clustered_data):
+        relevant = Grid(clustered_data, [0, 1, 2], bins_per_dimension=4).absolute_peak()
+        mixed = Grid(clustered_data, [0, 1, 7], bins_per_dimension=4).absolute_peak()
+        assert relevant.density > mixed.density
+
+    def test_hill_climb_from_cluster_median(self, clustered_data):
+        grid = Grid(clustered_data, [0, 1, 2], bins_per_dimension=4)
+        anchor = np.median(clustered_data[:50], axis=0)
+        result = grid.hill_climb(anchor)
+        assert result.density >= grid.cell_density(grid.cell_of(anchor))
+        assert np.mean(result.members < 50) > 0.8
+
+    def test_hill_climb_reaches_local_maximum(self, clustered_data):
+        grid = Grid(clustered_data, [0, 1], bins_per_dimension=5)
+        result = grid.hill_climb(clustered_data[100])
+        for neighbour in grid._neighbours(result.cell):
+            assert grid.cell_density(neighbour) <= result.density
+
+    def test_hill_climb_from_biased_anchor_recovers_peak(self, clustered_data):
+        # Start from a point offset from the cluster centre (simulating a
+        # labeled-object median biased to one side of the class).
+        grid = Grid(clustered_data, [0, 1, 2], bins_per_dimension=4)
+        biased = np.median(clustered_data[:50], axis=0)
+        biased[0] += 8.0
+        result = grid.hill_climb(biased)
+        assert np.mean(result.members < 50) > 0.5
+
+    def test_empty_grid_absolute_peak(self, clustered_data):
+        grid = Grid(clustered_data, [0], bins_per_dimension=3, restrict_to=[5])
+        peak = grid.absolute_peak()
+        assert peak.density == 1
+
+
+class TestOneDimensionalDensity:
+    def test_density_higher_on_relevant_dimension(self, clustered_data):
+        anchor = clustered_data[10]  # a cluster member
+        relevant = one_dimensional_density(clustered_data, 0, anchor[0], bins=10)
+        irrelevant = one_dimensional_density(clustered_data, 7, anchor[7], bins=10)
+        assert relevant > irrelevant
+
+    def test_density_is_a_fraction(self, clustered_data):
+        value = one_dimensional_density(clustered_data, 3, 50.0, bins=10)
+        assert 0.0 <= value <= 1.0
+
+    def test_restrict_to(self, clustered_data):
+        # Restricted to the cluster members, the value range shrinks to the
+        # cluster's own spread, so the anchor bin holds clearly more than the
+        # uniform baseline (1/bins) but not necessarily a large fraction.
+        value = one_dimensional_density(
+            clustered_data, 0, 25.0, bins=10, restrict_to=np.arange(50)
+        )
+        assert value > 1.0 / 10
+
+    def test_invalid_dimension(self, clustered_data):
+        with pytest.raises(ValueError):
+            one_dimensional_density(clustered_data, 99, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for the Knowledge / LabeledObjects / LabeledDimensions containers."""
+
+import numpy as np
+import pytest
+
+from repro.semisupervision.knowledge import Knowledge, LabeledDimensions, LabeledObjects
+
+
+class TestLabeledObjects:
+    def test_from_pairs_groups_by_class(self):
+        objects = LabeledObjects.from_pairs([(3, 0), (7, 0), (2, 1)])
+        np.testing.assert_array_equal(objects.for_class(0), [3, 7])
+        np.testing.assert_array_equal(objects.for_class(1), [2])
+        assert objects.classes() == [0, 1]
+
+    def test_duplicates_ignored(self):
+        objects = LabeledObjects.from_pairs([(3, 0), (3, 0)])
+        assert objects.count(0) == 1
+
+    def test_same_object_two_classes_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledObjects.from_pairs([(3, 0), (3, 1)])
+
+    def test_from_mapping(self):
+        objects = LabeledObjects.from_mapping({0: [1, 2], 2: [5]})
+        assert objects.count() == 3
+        assert objects.count(2) == 1
+
+    def test_all_objects_sorted_unique(self):
+        objects = LabeledObjects.from_pairs([(9, 0), (1, 1), (5, 0)])
+        np.testing.assert_array_equal(objects.all_objects(), [1, 5, 9])
+
+    def test_validate_against(self):
+        objects = LabeledObjects.from_pairs([(10, 0)])
+        objects.validate_against(11)
+        with pytest.raises(ValueError):
+            objects.validate_against(10)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledObjects.from_pairs([(-1, 0)])
+        with pytest.raises(ValueError):
+            LabeledObjects.from_pairs([(1, -2)])
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledObjects.from_pairs([(1, 2, 3)])
+
+
+class TestLabeledDimensions:
+    def test_dimension_may_serve_multiple_classes(self):
+        dims = LabeledDimensions.from_pairs([(4, 0), (4, 1)])
+        assert dims.count(0) == 1
+        assert dims.count(1) == 1
+
+    def test_validate_against(self):
+        dims = LabeledDimensions.from_pairs([(4, 0)])
+        dims.validate_against(5)
+        with pytest.raises(ValueError):
+            dims.validate_against(4)
+
+    def test_empty(self):
+        assert LabeledDimensions().is_empty()
+        assert not LabeledDimensions.from_pairs([(0, 0)]).is_empty()
+
+
+class TestKnowledge:
+    def test_knowledge_kind_classification(self):
+        knowledge = Knowledge.from_pairs(
+            object_pairs=[(0, 0), (1, 1)],
+            dimension_pairs=[(2, 1), (3, 2)],
+        )
+        assert knowledge.knowledge_kind(0) == "objects"
+        assert knowledge.knowledge_kind(1) == "both"
+        assert knowledge.knowledge_kind(2) == "dimensions"
+        assert knowledge.knowledge_kind(3) == "none"
+
+    def test_amount(self):
+        knowledge = Knowledge.from_pairs(
+            object_pairs=[(0, 0), (1, 0)], dimension_pairs=[(2, 0)]
+        )
+        assert knowledge.amount(0) == 3
+        assert knowledge.amount(1) == 0
+
+    def test_classes_union(self):
+        knowledge = Knowledge.from_pairs(object_pairs=[(0, 0)], dimension_pairs=[(1, 3)])
+        assert knowledge.classes() == [0, 3]
+
+    def test_empty(self):
+        assert Knowledge.empty().is_empty()
+        assert Knowledge.empty().classes() == []
+
+    def test_validate_against(self):
+        knowledge = Knowledge.from_pairs(object_pairs=[(0, 0)], dimension_pairs=[(1, 1)])
+        knowledge.validate_against(5, 5, 2)
+        with pytest.raises(ValueError):
+            knowledge.validate_against(5, 5, 1)  # class 1 outside k=1
+        with pytest.raises(ValueError):
+            knowledge.validate_against(5, 1, 3)  # dimension 1 outside d=1
+
+    def test_labeled_object_indices(self):
+        knowledge = Knowledge.from_pairs(object_pairs=[(4, 0), (2, 1)])
+        np.testing.assert_array_equal(knowledge.labeled_object_indices(), [2, 4])

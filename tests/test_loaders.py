@@ -1,0 +1,74 @@
+"""Tests for dataset persistence and example-dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    load_csv_dataset,
+    make_expression_like_dataset,
+    save_csv_dataset,
+)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_with_labels(self, tmp_path, rng):
+        data = rng.normal(size=(20, 5))
+        labels = rng.integers(-1, 3, size=20)
+        path = tmp_path / "dataset.csv"
+        save_csv_dataset(path, data, labels)
+        loaded_data, loaded_labels = load_csv_dataset(path)
+        np.testing.assert_allclose(loaded_data, data, rtol=1e-4, atol=1e-4)
+        np.testing.assert_array_equal(loaded_labels, labels)
+
+    def test_round_trip_without_labels(self, tmp_path, rng):
+        data = rng.uniform(size=(10, 3))
+        path = tmp_path / "plain.csv"
+        save_csv_dataset(path, data)
+        loaded_data, loaded_labels = load_csv_dataset(path)
+        assert loaded_labels is None
+        assert loaded_data.shape == (10, 3)
+
+    def test_creates_parent_directories(self, tmp_path, rng):
+        path = tmp_path / "nested" / "deeper" / "data.csv"
+        save_csv_dataset(path, rng.normal(size=(4, 2)))
+        assert path.exists()
+
+    def test_custom_delimiter(self, tmp_path, rng):
+        data = rng.normal(size=(5, 2))
+        path = tmp_path / "semi.csv"
+        save_csv_dataset(path, data, delimiter=";")
+        loaded, _ = load_csv_dataset(path, delimiter=";")
+        assert loaded.shape == (5, 2)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("dim_0,dim_1\n")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path)
+
+
+class TestExpressionLikeDataset:
+    def test_shape_matches_paper_configuration(self):
+        dataset = make_expression_like_dataset(
+            n_samples=60, n_genes=200, n_sample_classes=3, n_marker_genes=5, random_state=0
+        )
+        assert dataset.data.shape == (60, 200)
+        assert dataset.n_clusters == 3
+        assert all(dims.size == 5 for dims in dataset.relevant_dimensions)
+
+    def test_marker_genes_are_tight_within_class(self):
+        dataset = make_expression_like_dataset(
+            n_samples=90, n_genes=100, n_sample_classes=3, n_marker_genes=4, random_state=1
+        )
+        low, high = dataset.parameters["value_range"]
+        population_variance = (high - low) ** 2 / 12.0
+        for label, dims in enumerate(dataset.relevant_dimensions):
+            members = dataset.cluster_members(label)
+            local = dataset.data[members][:, dims].var(axis=0, ddof=1)
+            assert np.all(local < 0.25 * population_variance)

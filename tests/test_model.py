@@ -1,0 +1,107 @@
+"""Tests for repro.core.model (ProjectedCluster / ClusteringResult)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import OUTLIER_LABEL, ClusteringResult, ProjectedCluster
+
+
+class TestProjectedCluster:
+    def test_members_and_dimensions_sorted_and_deduplicated(self):
+        cluster = ProjectedCluster(members=[3, 1, 3], dimensions=[5, 2, 5])
+        np.testing.assert_array_equal(cluster.members, [1, 3])
+        np.testing.assert_array_equal(cluster.dimensions, [2, 5])
+
+    def test_size_and_dimensionality(self):
+        cluster = ProjectedCluster(members=[0, 1, 2], dimensions=[4])
+        assert cluster.size == 3
+        assert cluster.dimensionality == 1
+
+    def test_contains(self):
+        cluster = ProjectedCluster(members=[0, 2], dimensions=[1])
+        assert cluster.contains(2)
+        assert not cluster.contains(1)
+
+    def test_projection_shape(self):
+        data = np.arange(20, dtype=float).reshape(4, 5)
+        cluster = ProjectedCluster(members=[1, 3], dimensions=[0, 2, 4])
+        projection = cluster.projection(data)
+        assert projection.shape == (2, 3)
+        np.testing.assert_array_equal(projection[0], data[1, [0, 2, 4]])
+
+    def test_sets(self):
+        cluster = ProjectedCluster(members=[2, 0], dimensions=[3])
+        assert cluster.member_set() == frozenset({0, 2})
+        assert cluster.dimension_set() == frozenset({3})
+
+
+class TestClusteringResult:
+    def _make(self):
+        clusters = [
+            ProjectedCluster(members=[0, 1], dimensions=[0, 1]),
+            ProjectedCluster(members=[2, 3], dimensions=[2]),
+        ]
+        return ClusteringResult(clusters=clusters, n_objects=6, n_dimensions=4, algorithm="test")
+
+    def test_labels_with_outliers(self):
+        result = self._make()
+        np.testing.assert_array_equal(result.labels(), [0, 0, 1, 1, -1, -1])
+        assert result.n_outliers == 2
+        np.testing.assert_array_equal(result.outliers, [4, 5])
+
+    def test_cluster_sizes_and_average_dimensionality(self):
+        result = self._make()
+        np.testing.assert_array_equal(result.cluster_sizes(), [2, 2])
+        assert result.average_dimensionality() == pytest.approx(1.5)
+
+    def test_duplicate_membership_rejected(self):
+        clusters = [
+            ProjectedCluster(members=[0, 1], dimensions=[0]),
+            ProjectedCluster(members=[1, 2], dimensions=[1]),
+        ]
+        with pytest.raises(ValueError):
+            ClusteringResult(clusters=clusters, n_objects=5, n_dimensions=3)
+
+    def test_out_of_range_members_rejected(self):
+        clusters = [ProjectedCluster(members=[10], dimensions=[0])]
+        with pytest.raises(ValueError):
+            ClusteringResult(clusters=clusters, n_objects=5, n_dimensions=3)
+
+    def test_out_of_range_dimensions_rejected(self):
+        clusters = [ProjectedCluster(members=[0], dimensions=[7])]
+        with pytest.raises(ValueError):
+            ClusteringResult(clusters=clusters, n_objects=5, n_dimensions=3)
+
+    def test_without_objects_moves_to_outliers(self):
+        result = self._make()
+        stripped = result.without_objects([0, 2])
+        np.testing.assert_array_equal(stripped.labels(), [-1, 0, -1, 1, -1, -1])
+        # Original result untouched.
+        np.testing.assert_array_equal(result.labels(), [0, 0, 1, 1, -1, -1])
+
+    def test_summary_mentions_clusters(self):
+        text = self._make().summary()
+        assert "cluster 0" in text and "cluster 1" in text
+
+    def test_from_labels_round_trip(self):
+        labels = [0, 1, 1, -1, 0]
+        result = ClusteringResult.from_labels(labels, n_dimensions=3, algorithm="x")
+        np.testing.assert_array_equal(result.labels(), labels)
+        assert result.n_clusters == 2
+        # Default: every cluster uses all dimensions (non-projected).
+        assert all(cluster.dimensionality == 3 for cluster in result.clusters)
+
+    def test_from_labels_with_dimensions(self):
+        result = ClusteringResult.from_labels(
+            [0, 1], n_dimensions=4, dimensions=[[0, 1], [2]], n_clusters=2
+        )
+        assert result.clusters[0].dimension_set() == frozenset({0, 1})
+        assert result.clusters[1].dimension_set() == frozenset({2})
+
+    def test_from_labels_keeps_empty_clusters(self):
+        result = ClusteringResult.from_labels([0, 0], n_dimensions=2, n_clusters=3)
+        assert result.n_clusters == 3
+        assert result.clusters[2].size == 0
+
+    def test_outlier_label_constant(self):
+        assert OUTLIER_LABEL == -1

@@ -1,0 +1,68 @@
+"""Tests for the multiple-groupings dataset (Section 5.4 construction)."""
+
+import numpy as np
+import pytest
+
+from repro.data.multigroup import make_multigroup_dataset
+from repro.evaluation import adjusted_rand_index
+
+
+@pytest.fixture(scope="module")
+def multigroup():
+    return make_multigroup_dataset(
+        n_objects=90,
+        n_dimensions_per_grouping=60,
+        n_clusters=3,
+        avg_cluster_dimensionality=6,
+        random_state=13,
+    )
+
+
+class TestConstruction:
+    def test_combined_shape(self, multigroup):
+        assert multigroup.data.shape == (90, 120)
+        assert multigroup.n_groupings == 2
+
+    def test_each_grouping_partitions_objects(self, multigroup):
+        for grouping in range(2):
+            labels = multigroup.grouping_labels(grouping)
+            assert labels.shape == (90,)
+            assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_groupings_are_independent(self, multigroup):
+        ari = adjusted_rand_index(
+            multigroup.grouping_labels(0), multigroup.grouping_labels(1)
+        )
+        assert abs(ari) < 0.3
+
+    def test_relevant_dimensions_live_in_their_block(self, multigroup):
+        for cluster_dims in multigroup.grouping_dimensions(0):
+            assert np.all(cluster_dims < 60)
+        for cluster_dims in multigroup.grouping_dimensions(1):
+            assert np.all((cluster_dims >= 60) & (cluster_dims < 120))
+
+    def test_block_signal_matches_grouping(self, multigroup):
+        """Each grouping's structure is visible in its own dimension block."""
+        population_variance = (100.0 - 0.0) ** 2 / 12.0
+        for grouping in range(2):
+            labels = multigroup.grouping_labels(grouping)
+            for label, dims in enumerate(multigroup.grouping_dimensions(grouping)):
+                members = np.flatnonzero(labels == label)
+                local = multigroup.data[members][:, dims].var(axis=0, ddof=1)
+                assert np.all(local < 0.25 * population_variance)
+
+    def test_more_than_two_groupings(self):
+        dataset = make_multigroup_dataset(
+            n_objects=60,
+            n_dimensions_per_grouping=30,
+            n_clusters=2,
+            avg_cluster_dimensionality=4,
+            n_groupings=3,
+            random_state=5,
+        )
+        assert dataset.n_groupings == 3
+        assert dataset.data.shape == (60, 90)
+
+    def test_requires_at_least_two_groupings(self):
+        with pytest.raises(ValueError):
+            make_multigroup_dataset(n_groupings=1)

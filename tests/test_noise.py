@@ -1,0 +1,86 @@
+"""Tests for noisy-knowledge screening (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.semisupervision.knowledge import Knowledge
+from repro.semisupervision.noise import KnowledgeValidator
+
+
+@pytest.fixture()
+def dataset(small_dataset):
+    return small_dataset
+
+
+class TestObjectScreening:
+    def test_correct_objects_are_kept(self, dataset):
+        members = np.flatnonzero(dataset.labels == 0)[:5]
+        knowledge = Knowledge.from_pairs(object_pairs=[(int(o), 0) for o in members])
+        cleaned, report = KnowledgeValidator().validate(dataset.data, knowledge)
+        assert cleaned.objects.count(0) == 5
+        assert report.n_rejections() == 0
+
+    def test_wrong_object_is_rejected(self, dataset):
+        members = np.flatnonzero(dataset.labels == 0)[:5]
+        intruder = int(np.flatnonzero(dataset.labels == 1)[0])
+        pairs = [(int(o), 0) for o in members] + [(intruder, 0)]
+        knowledge = Knowledge.from_pairs(object_pairs=pairs)
+        cleaned, report = KnowledgeValidator().validate(dataset.data, knowledge)
+        rejected_ids = [obj for obj, _, _ in report.rejected_objects]
+        assert intruder in rejected_ids
+        assert intruder not in cleaned.objects.for_class(0).tolist()
+
+    def test_too_few_objects_kept_unscreened(self, dataset):
+        members = np.flatnonzero(dataset.labels == 0)[:2]
+        knowledge = Knowledge.from_pairs(object_pairs=[(int(o), 0) for o in members])
+        cleaned, report = KnowledgeValidator().validate(dataset.data, knowledge)
+        assert cleaned.objects.count(0) == 2
+        assert report.n_rejections() == 0
+
+
+class TestDimensionScreening:
+    def test_correct_dimensions_kept(self, dataset):
+        members = np.flatnonzero(dataset.labels == 1)[:6]
+        dims = dataset.relevant_dimensions[1][:3]
+        knowledge = Knowledge.from_pairs(
+            object_pairs=[(int(o), 1) for o in members],
+            dimension_pairs=[(int(d), 1) for d in dims],
+        )
+        cleaned, report = KnowledgeValidator().validate(dataset.data, knowledge)
+        assert set(cleaned.dimensions.for_class(1).tolist()) == set(int(d) for d in dims)
+
+    def test_irrelevant_dimension_rejected(self, dataset):
+        members = np.flatnonzero(dataset.labels == 1)[:6]
+        irrelevant = int(
+            np.setdiff1d(np.arange(dataset.n_dimensions), dataset.relevant_dimensions[1])[0]
+        )
+        knowledge = Knowledge.from_pairs(
+            object_pairs=[(int(o), 1) for o in members],
+            dimension_pairs=[(irrelevant, 1)],
+        )
+        cleaned, report = KnowledgeValidator().validate(dataset.data, knowledge)
+        assert irrelevant not in cleaned.dimensions.for_class(1).tolist()
+        assert report.n_rejections() >= 1
+
+    def test_dimensions_without_objects_kept(self, dataset):
+        dims = dataset.relevant_dimensions[2][:2]
+        knowledge = Knowledge.from_pairs(dimension_pairs=[(int(d), 2) for d in dims])
+        cleaned, _ = KnowledgeValidator().validate(dataset.data, knowledge)
+        assert cleaned.dimensions.count(2) == 2
+
+
+class TestValidatorConfiguration:
+    def test_invalid_variance_ratio(self):
+        with pytest.raises(ValueError):
+            KnowledgeValidator(variance_ratio=0.0)
+
+    def test_invalid_min_supporting_dimensions(self):
+        with pytest.raises(ValueError):
+            KnowledgeValidator(min_supporting_dimensions=0)
+
+    def test_validator_does_not_mutate_input(self, dataset):
+        members = np.flatnonzero(dataset.labels == 0)[:4]
+        knowledge = Knowledge.from_pairs(object_pairs=[(int(o), 0) for o in members])
+        before = dict(knowledge.objects.by_class)
+        KnowledgeValidator().validate(dataset.data, knowledge)
+        assert knowledge.objects.by_class == before

@@ -1,0 +1,67 @@
+"""Tests for column-wise preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import min_max_normalize, standardize
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        transformed, _ = standardize(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        data = np.column_stack([np.full(10, 7.0), np.arange(10, dtype=float)])
+        transformed, _ = standardize(data)
+        np.testing.assert_allclose(transformed[:, 0], 0.0)
+
+    def test_inverse_transform_round_trip(self, rng):
+        data = rng.normal(size=(50, 3))
+        transformed, scaler = standardize(data)
+        np.testing.assert_allclose(scaler.inverse_transform(transformed), data, atol=1e-10)
+
+    def test_transform_new_data_consistent(self, rng):
+        train = rng.normal(10, 2, size=(100, 2))
+        _, scaler = standardize(train)
+        new = np.asarray([[10.0, 10.0]])
+        transformed = scaler.transform(new)
+        expected = (new - train.mean(axis=0)) / train.std(axis=0)
+        np.testing.assert_allclose(transformed, expected)
+
+    def test_column_count_mismatch_rejected(self, rng):
+        _, scaler = standardize(rng.normal(size=(20, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(rng.normal(size=(5, 4)))
+
+
+class TestMinMaxNormalize:
+    def test_default_range(self, rng):
+        data = rng.uniform(-50, 50, size=(100, 5))
+        transformed, _ = min_max_normalize(data)
+        assert transformed.min() >= -1e-12
+        assert transformed.max() <= 1.0 + 1e-12
+        np.testing.assert_allclose(transformed.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(transformed.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        data = rng.uniform(0, 10, size=(50, 2))
+        transformed, _ = min_max_normalize(data, feature_range=(-1.0, 1.0))
+        np.testing.assert_allclose(transformed.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(transformed.max(axis=0), 1.0, atol=1e-12)
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            min_max_normalize(rng.normal(size=(5, 2)), feature_range=(1.0, 1.0))
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.uniform(3, 9, size=(30, 4))
+        transformed, scaler = min_max_normalize(data)
+        np.testing.assert_allclose(scaler.inverse_transform(transformed), data, atol=1e-10)
+
+    def test_constant_column(self):
+        data = np.column_stack([np.full(10, 4.0), np.arange(10, dtype=float)])
+        transformed, _ = min_max_normalize(data)
+        np.testing.assert_allclose(transformed[:, 0], 0.0)

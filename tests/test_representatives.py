@@ -1,0 +1,127 @@
+"""Tests for bad-cluster detection and representative replacement (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import ClusterState
+from repro.core.objective import ObjectiveFunction
+from repro.core.representatives import (
+    compute_phi_scores,
+    find_bad_cluster,
+    replace_representatives,
+)
+from repro.core.thresholds import VarianceRatioThreshold
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(17)
+    data = rng.uniform(0, 100, size=(90, 8))
+    data[:30, 0] = rng.normal(20, 1.0, size=30)
+    data[:30, 1] = rng.normal(40, 1.0, size=30)
+    data[30:60, 2] = rng.normal(70, 1.0, size=30)
+    data[30:60, 3] = rng.normal(80, 1.0, size=30)
+    objective = ObjectiveFunction(data, VarianceRatioThreshold(m=0.5))
+
+    def make_state(members, dims):
+        members = np.asarray(members, dtype=int)
+        return ClusterState(
+            representative=np.median(data[members], axis=0),
+            dimensions=np.asarray(dims, dtype=int),
+            members=members,
+            size_hint=members.size,
+        )
+
+    return objective, make_state
+
+
+class TestComputePhiScores:
+    def test_overall_is_normalised_sum(self, setup):
+        objective, make_state = setup
+        states = [make_state(range(30), [0, 1]), make_state(range(30, 60), [2, 3])]
+        per_cluster, overall = compute_phi_scores(objective, states)
+        assert len(per_cluster) == 2
+        expected = sum(per_cluster) / (objective.n_objects * objective.n_dimensions)
+        assert overall == pytest.approx(expected)
+
+    def test_good_cluster_scores_positive(self, setup):
+        objective, make_state = setup
+        per_cluster, _ = compute_phi_scores(objective, [make_state(range(30), [0, 1])])
+        assert per_cluster[0] > 0
+
+
+class TestFindBadCluster:
+    def test_lowest_score_cluster_picked(self, setup):
+        objective, make_state = setup
+        good = make_state(range(30), [0, 1])
+        bad = make_state(range(60, 90), [5, 6])  # no real structure
+        scores, _ = compute_phi_scores(objective, [good, bad])
+        assert find_bad_cluster(objective, [good, bad], scores) == 1
+
+    def test_empty_cluster_is_always_bad(self, setup):
+        objective, make_state = setup
+        good = make_state(range(30), [0, 1])
+        empty = ClusterState(
+            representative=np.zeros(objective.n_dimensions),
+            dimensions=np.asarray([4]),
+            members=np.empty(0, dtype=int),
+            size_hint=2,
+        )
+        scores = [10.0, 50.0]
+        assert find_bad_cluster(objective, [good, empty], scores) == 1
+
+    def test_similar_clusters_loser_detected(self, setup):
+        objective, make_state = setup
+        # Two clusters over the same real cluster: same dims, nearby medians.
+        first = make_state(range(20), [0, 1])
+        second = make_state(range(15, 30), [0, 1])
+        third = make_state(range(30, 60), [2, 3])
+        scores, _ = compute_phi_scores(objective, [first, second, third])
+        bad = find_bad_cluster(objective, [first, second, third], scores)
+        assert bad in (0, 1)
+        assert scores[bad] <= scores[1 - bad]
+
+    def test_empty_clustering_rejected(self, setup):
+        objective, _ = setup
+        with pytest.raises(ValueError):
+            find_bad_cluster(objective, [], [])
+
+
+class TestReplaceRepresentatives:
+    def test_bad_cluster_gets_new_medoid_and_dimensions(self, setup):
+        objective, make_state = setup
+        states = [make_state(range(30), [0, 1]), make_state(range(60, 90), [5])]
+        new = replace_representatives(objective, states, bad_cluster=1, new_medoid=35, new_medoid_dimensions=np.asarray([2, 3]))
+        np.testing.assert_allclose(new[1].representative, objective.data[35])
+        np.testing.assert_array_equal(new[1].dimensions, [2, 3])
+
+    def test_other_clusters_get_median_representative(self, setup):
+        objective, make_state = setup
+        states = [make_state(range(30), [0, 1]), make_state(range(60, 90), [5])]
+        new = replace_representatives(objective, states, 1, 35, None)
+        expected_median = np.median(objective.data[np.arange(30)], axis=0)
+        np.testing.assert_allclose(new[0].representative, expected_median)
+
+    def test_members_cleared_for_next_iteration(self, setup):
+        objective, make_state = setup
+        states = [make_state(range(30), [0, 1]), make_state(range(30, 60), [2, 3])]
+        new = replace_representatives(objective, states, 0, 5, None)
+        assert all(state.members.size == 0 for state in new)
+
+    def test_none_medoid_falls_back_to_median(self, setup):
+        objective, make_state = setup
+        states = [make_state(range(30), [0, 1]), make_state(range(30, 60), [2, 3])]
+        new = replace_representatives(objective, states, 0, None, None)
+        expected_median = np.median(objective.data[np.arange(30)], axis=0)
+        np.testing.assert_allclose(new[0].representative, expected_median)
+
+    def test_empty_cluster_keeps_previous_representative(self, setup):
+        objective, make_state = setup
+        empty = ClusterState(
+            representative=np.full(objective.n_dimensions, 42.0),
+            dimensions=np.asarray([1]),
+            members=np.empty(0, dtype=int),
+            size_hint=2,
+        )
+        new = replace_representatives(objective, [empty], bad_cluster=5, new_medoid=None, new_medoid_dimensions=None)
+        np.testing.assert_allclose(new[0].representative, 42.0)

@@ -1,0 +1,103 @@
+"""Tests for the knowledge-sampling protocol (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.semisupervision.sampling import KnowledgeSampler, sample_knowledge
+
+
+@pytest.fixture(scope="module")
+def ground_truth(small_dataset):
+    return small_dataset.labels, small_dataset.relevant_dimensions
+
+
+class TestSampler:
+    def test_both_categories_sizes(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="both", input_size=4, coverage=1.0, random_state=0
+        )
+        for label in range(len(dims)):
+            assert knowledge.objects.count(label) == 4
+            assert knowledge.dimensions.count(label) == 4
+
+    def test_objects_only(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="objects", input_size=3, coverage=1.0, random_state=1
+        )
+        assert knowledge.objects.count() == 3 * len(dims)
+        assert knowledge.dimensions.is_empty()
+
+    def test_dimensions_only(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="dimensions", input_size=3, coverage=1.0, random_state=2
+        )
+        assert knowledge.objects.is_empty()
+        assert knowledge.dimensions.count() == 3 * len(dims)
+
+    def test_samples_are_correct_knowledge(self, ground_truth):
+        """Sampled labels must come from the real members / relevant dims."""
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="both", input_size=5, coverage=1.0, random_state=3
+        )
+        for label in range(len(dims)):
+            members = set(np.flatnonzero(labels == label).tolist())
+            relevant = set(np.asarray(dims[label]).tolist())
+            assert set(knowledge.objects.for_class(label).tolist()).issubset(members)
+            assert set(knowledge.dimensions.for_class(label).tolist()).issubset(relevant)
+
+    def test_coverage_controls_number_of_classes(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="both", input_size=4, coverage=0.34, random_state=4
+        )
+        expected = int(round(0.34 * len(dims)))
+        assert len(knowledge.classes()) == expected
+
+    def test_zero_input_size_gives_empty_knowledge(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(labels, dims, category="both", input_size=0, coverage=1.0)
+        assert knowledge.is_empty()
+
+    def test_none_category(self, ground_truth):
+        labels, dims = ground_truth
+        assert sample_knowledge(labels, dims, category="none", input_size=5).is_empty()
+
+    def test_explicit_covered_classes(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="objects", input_size=2, covered_classes=[1], random_state=5
+        )
+        assert knowledge.classes() == [1]
+
+    def test_input_size_capped_at_available(self, ground_truth):
+        labels, dims = ground_truth
+        knowledge = sample_knowledge(
+            labels, dims, category="dimensions", input_size=1000, coverage=1.0, random_state=6
+        )
+        for label in range(len(dims)):
+            assert knowledge.dimensions.count(label) == len(dims[label])
+
+    def test_independent_draws_differ(self, ground_truth):
+        labels, dims = ground_truth
+        first = sample_knowledge(labels, dims, category="objects", input_size=3, random_state=7)
+        second = sample_knowledge(labels, dims, category="objects", input_size=3, random_state=8)
+        assert first.objects.by_class != second.objects.by_class
+
+    def test_invalid_category_rejected(self, ground_truth):
+        labels, dims = ground_truth
+        with pytest.raises(ValueError):
+            sample_knowledge(labels, dims, category="labels", input_size=3)
+
+    def test_invalid_covered_class_rejected(self, ground_truth):
+        labels, dims = ground_truth
+        sampler = KnowledgeSampler(labels, dims)
+        with pytest.raises(ValueError):
+            sampler.sample(category="objects", input_size=1, covered_classes=[99])
+
+    def test_mismatched_dimensions_length_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeSampler(np.asarray([0, 1, 2]), [[0]])

@@ -1,0 +1,139 @@
+"""Tests for seed-group construction (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import ObjectiveFunction
+from repro.core.seed_groups import SeedGroup, SeedGroupBuilder
+from repro.core.thresholds import VarianceRatioThreshold
+from repro.semisupervision.knowledge import Knowledge
+from repro.semisupervision.sampling import sample_knowledge
+
+
+@pytest.fixture()
+def dataset_objective(small_dataset):
+    return ObjectiveFunction(small_dataset.data, VarianceRatioThreshold(m=0.5))
+
+
+class TestSeedGroup:
+    def test_deduplicates_and_sorts(self):
+        group = SeedGroup(seeds=[5, 2, 5], dimensions=[3, 1, 3])
+        np.testing.assert_array_equal(group.seeds, [2, 5])
+        np.testing.assert_array_equal(group.dimensions, [1, 3])
+
+    def test_private_flag(self):
+        assert SeedGroup(seeds=[1], dimensions=[0], cluster=2).is_private
+        assert not SeedGroup(seeds=[1], dimensions=[0]).is_private
+
+    def test_draw_medoid_without_replacement_then_recycles(self, rng):
+        group = SeedGroup(seeds=[1, 2, 3], dimensions=[0])
+        first_three = {group.draw_medoid(rng) for _ in range(3)}
+        assert first_three == {1, 2, 3}
+        # Exhausted -> recycles, still draws valid seeds.
+        assert group.draw_medoid(rng) in {1, 2, 3}
+
+    def test_draw_from_empty_group_raises(self, rng):
+        group = SeedGroup(seeds=[], dimensions=[0])
+        with pytest.raises(RuntimeError):
+            group.draw_medoid(rng)
+
+
+class TestPrivateGroups:
+    def test_both_inputs_builds_accurate_group(self, small_dataset, dataset_objective, rng):
+        knowledge = sample_knowledge(
+            small_dataset.labels,
+            small_dataset.relevant_dimensions,
+            category="both",
+            input_size=4,
+            coverage=1.0,
+            random_state=3,
+        )
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, knowledge)
+        private, _ = builder.build(rng)
+        assert set(private) == set(range(small_dataset.n_clusters))
+        for label, group in private.items():
+            true_members = set(np.flatnonzero(small_dataset.labels == label).tolist())
+            true_dims = set(small_dataset.relevant_dimensions[label].tolist())
+            seed_accuracy = np.mean([seed in true_members for seed in group.seeds])
+            assert seed_accuracy > 0.6
+            assert len(set(group.dimensions.tolist()) & true_dims) >= 2
+            assert group.knowledge_kind == "both"
+
+    def test_labeled_dimensions_forced_into_group(self, small_dataset, dataset_objective, rng):
+        labeled_dim = int(small_dataset.relevant_dimensions[0][0])
+        knowledge = Knowledge.from_pairs(dimension_pairs=[(labeled_dim, 0)])
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, knowledge)
+        private, _ = builder.build(rng)
+        assert labeled_dim in private[0].dimensions
+        assert private[0].knowledge_kind == "dimensions"
+
+    def test_objects_only_group(self, small_dataset, dataset_objective, rng):
+        members = np.flatnonzero(small_dataset.labels == 1)[:4]
+        knowledge = Knowledge.from_pairs(object_pairs=[(int(o), 1) for o in members])
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, knowledge)
+        private, _ = builder.build(rng)
+        assert list(private) == [1]
+        assert private[1].knowledge_kind == "objects"
+        assert private[1].n_seeds >= 1
+
+
+class TestPublicGroups:
+    def test_public_groups_created_without_knowledge(self, small_dataset, dataset_objective, rng):
+        builder = SeedGroupBuilder(
+            dataset_objective, small_dataset.n_clusters, Knowledge.empty(), public_group_factor=2
+        )
+        private, public = builder.build(rng)
+        assert private == {}
+        assert len(public) >= small_dataset.n_clusters
+        for group in public:
+            assert group.n_seeds >= 1
+            assert not group.is_private
+
+    def test_public_groups_have_disjoint_seeds(self, small_dataset, dataset_objective, rng):
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, Knowledge.empty())
+        _, public = builder.build(rng)
+        seen = set()
+        for group in public:
+            overlap = seen & set(group.seeds.tolist())
+            assert not overlap
+            seen.update(group.seeds.tolist())
+
+    def test_mixed_knowledge_creates_private_and_public(self, small_dataset, dataset_objective, rng):
+        members = np.flatnonzero(small_dataset.labels == 0)[:3]
+        knowledge = Knowledge.from_pairs(object_pairs=[(int(o), 0) for o in members])
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, knowledge)
+        private, public = builder.build(rng)
+        assert list(private) == [0]
+        # Two knowledge-free clusters -> at least that many public groups.
+        assert len(public) >= small_dataset.n_clusters - 1
+
+
+class TestBuilderConfiguration:
+    def test_initialisation_order_prefers_more_knowledge(self, small_dataset, dataset_objective):
+        members0 = np.flatnonzero(small_dataset.labels == 0)[:2]
+        members1 = np.flatnonzero(small_dataset.labels == 1)[:5]
+        dims2 = small_dataset.relevant_dimensions[2][:2]
+        knowledge = Knowledge.from_pairs(
+            object_pairs=[(int(o), 0) for o in members0] + [(int(o), 1) for o in members1],
+            dimension_pairs=[(int(d), 1) for d in dims2[:1]] + [(int(d), 2) for d in dims2],
+        )
+        builder = SeedGroupBuilder(dataset_objective, small_dataset.n_clusters, knowledge)
+        order = builder._initialisation_order()
+        # Cluster 1 has both kinds -> first; cluster 0 objects only -> second;
+        # cluster 2 dimensions only -> third; cluster without knowledge last.
+        assert order[0] == 1
+        assert order[1] == 0
+        assert order[2] == 2
+
+    def test_auto_bins_scale_with_available_objects(self, dataset_objective):
+        builder = SeedGroupBuilder(dataset_objective, 3, Knowledge.empty())
+        assert builder._effective_bins(40) <= builder._effective_bins(5000)
+        assert 2 <= builder._effective_bins(10) <= 8
+
+    def test_explicit_bins_respected(self, dataset_objective):
+        builder = SeedGroupBuilder(dataset_objective, 3, Knowledge.empty(), bins_per_dimension=4)
+        assert builder._effective_bins(10_000) == 4
+
+    def test_invalid_seed_selection_p(self, dataset_objective):
+        with pytest.raises(ValueError):
+            SeedGroupBuilder(dataset_objective, 3, seed_selection_p=0.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, random_seed_from, shuffled, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(123).integers(0, 1000, size=10)
+        second = ensure_rng(123).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = ensure_rng(1).integers(0, 10**6, size=20)
+        second = ensure_rng(2).integers(0, 10**6, size=20)
+        assert not np.array_equal(first, second)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_matches(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(42, 3)
+        draws = [child.integers(0, 10**9, size=5) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(7, 4)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(7, 4)]
+        assert first == second
+
+
+class TestHelpers:
+    def test_random_seed_from_range(self):
+        seed = random_seed_from(np.random.default_rng(0))
+        assert 0 <= seed < 2**32
+
+    def test_shuffled_preserves_elements(self):
+        values = list(range(50))
+        result = shuffled(values, np.random.default_rng(3))
+        assert sorted(result) == values
+        assert result is not values
+
+    def test_shuffled_does_not_mutate_input(self):
+        values = list(range(20))
+        original = list(values)
+        shuffled(values, np.random.default_rng(1))
+        assert values == original

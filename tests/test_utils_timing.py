@@ -1,0 +1,46 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_records_duration(self):
+        watch = Stopwatch()
+        with watch.measure("task"):
+            sum(range(1000))
+        assert watch.count("task") == 1
+        assert watch.total("task") >= 0.0
+
+    def test_multiple_measurements_accumulate(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("task"):
+                pass
+        assert watch.count("task") == 3
+        assert watch.total("task") == pytest.approx(sum(watch.records["task"]))
+
+    def test_add_external_duration(self):
+        watch = Stopwatch()
+        watch.add("external", 1.5)
+        watch.add("external", 0.5)
+        assert watch.total("external") == pytest.approx(2.0)
+        assert watch.mean("external") == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("x", -0.1)
+
+    def test_unknown_label_total_is_zero(self):
+        assert Stopwatch().total("missing") == 0.0
+
+    def test_unknown_label_mean_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().mean("missing")
+
+    def test_labels_sorted(self):
+        watch = Stopwatch()
+        watch.add("b", 0.1)
+        watch.add("a", 0.1)
+        assert watch.labels() == ["a", "b"]

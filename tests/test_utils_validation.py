@@ -1,0 +1,138 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_2d,
+    check_cluster_count,
+    check_fraction,
+    check_index_sequence,
+    check_membership_labels,
+    check_positive_int,
+    check_probability,
+    check_random_partition_sizes,
+)
+
+
+class TestCheckArray2d:
+    def test_list_of_lists_converted(self):
+        array = check_array_2d([[1, 2], [3, 4]])
+        assert array.shape == (2, 2)
+        assert array.dtype == float
+
+    def test_1d_promoted_to_row(self):
+        assert check_array_2d([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            check_array_2d(np.zeros((2, 2, 2)))
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValueError):
+            check_array_2d([[1, 2]], min_rows=2)
+
+    def test_min_cols_enforced(self):
+        with pytest.raises(ValueError):
+            check_array_2d([[1], [2]], min_cols=2)
+
+    def test_nan_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            check_array_2d([[1.0, np.nan]])
+
+    def test_nan_allowed_when_requested(self):
+        array = check_array_2d([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(array[0, 1])
+
+    def test_output_contiguous(self):
+        array = check_array_2d(np.asfortranarray(np.ones((4, 3))))
+        assert array.flags["C_CONTIGUOUS"]
+
+
+class TestScalarChecks:
+    def test_positive_int_accepts_valid(self):
+        assert check_positive_int(3, name="x") == 3
+
+    def test_positive_int_rejects_zero_with_default_minimum(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, name="x")
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, name="x")
+
+    def test_cluster_count_cannot_exceed_objects(self):
+        with pytest.raises(ValueError):
+            check_cluster_count(11, 10)
+
+    def test_cluster_count_ok(self):
+        assert check_cluster_count(3, 10) == 3
+
+    def test_fraction_bounds_inclusive(self):
+        assert check_fraction(0.0, name="f") == 0.0
+        assert check_fraction(1.0, name="f") == 1.0
+
+    def test_fraction_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, name="f", inclusive_low=False)
+        with pytest.raises(ValueError):
+            check_fraction(1.0, name="f", inclusive_high=False)
+
+    def test_probability_strictly_inside_unit_interval(self):
+        assert check_probability(0.05, name="p") == 0.05
+        with pytest.raises(ValueError):
+            check_probability(0.0, name="p")
+        with pytest.raises(ValueError):
+            check_probability(1.0, name="p")
+
+
+class TestLabelAndIndexChecks:
+    def test_membership_labels_accept_outliers(self):
+        labels = check_membership_labels([0, 1, -1, 2], 4)
+        np.testing.assert_array_equal(labels, [0, 1, -1, 2])
+
+    def test_membership_labels_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_membership_labels([0, 1], 3)
+
+    def test_membership_labels_reject_below_minus_one(self):
+        with pytest.raises(ValueError):
+            check_membership_labels([0, -2], 2)
+
+    def test_membership_labels_reject_non_integer(self):
+        with pytest.raises(ValueError):
+            check_membership_labels([0.5, 1.0], 2)
+
+    def test_membership_labels_accept_integer_valued_floats(self):
+        labels = check_membership_labels(np.asarray([0.0, 1.0]), 2)
+        assert labels.dtype.kind == "i"
+
+    def test_index_sequence_bounds(self):
+        with pytest.raises(ValueError):
+            check_index_sequence([0, 5], 5)
+
+    def test_index_sequence_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            check_index_sequence([1, 1], 5)
+
+    def test_index_sequence_duplicates_allowed_when_disabled(self):
+        result = check_index_sequence([1, 1], 5, unique=False)
+        assert list(result) == [1, 1]
+
+    def test_index_sequence_empty_handling(self):
+        assert check_index_sequence([], 5).size == 0
+        with pytest.raises(ValueError):
+            check_index_sequence([], 5, allow_empty=False)
+
+    def test_partition_sizes_positive(self):
+        with pytest.raises(ValueError):
+            check_random_partition_sizes([3, 0, 2])
+
+    def test_partition_sizes_total(self):
+        with pytest.raises(ValueError):
+            check_random_partition_sizes([3, 3], total=7)
+        np.testing.assert_array_equal(check_random_partition_sizes([3, 4], total=7), [3, 4])
