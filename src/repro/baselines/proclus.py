@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.model import ClusteringResult, ProjectedCluster
+from repro.core.stats_cache import ClusterStatsCache
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_array_2d, check_cluster_count, check_positive_int
 
@@ -58,6 +59,13 @@ class PROCLUS:
         Multiplier on the sphere-of-influence radius used in the
         refinement phase to flag outliers; ``None`` disables outlier
         detection (every object stays assigned).
+    stats_cache:
+        Optional shared :class:`~repro.core.stats_cache.ClusterStatsCache`
+        workspace.  The iterative phase evaluates the cost of recurring
+        member sets; the workspace memoizes their per-cluster means (via
+        the lightweight :meth:`~repro.core.stats_cache.ClusterStatsCache.mean`
+        path) so repeated evaluations and co-running algorithms share
+        one statistics engine.
     random_state:
         Seed or generator.
 
@@ -77,6 +85,7 @@ class PROCLUS:
         medoid_pool_factor: int = 3,
         max_iterations: int = 20,
         outlier_fraction_radius: Optional[float] = 1.0,
+        stats_cache: Optional["ClusterStatsCache"] = None,
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=1)
@@ -91,6 +100,7 @@ class PROCLUS:
         if outlier_fraction_radius is not None and outlier_fraction_radius <= 0:
             raise ValueError("outlier_fraction_radius must be positive or None")
         self.outlier_fraction_radius = outlier_fraction_radius
+        self.stats_cache = stats_cache
         self.random_state = random_state
 
         self.labels_: Optional[np.ndarray] = None
@@ -108,6 +118,8 @@ class PROCLUS:
         check_cluster_count(self.n_clusters, data.shape[0])
         rng = ensure_rng(self.random_state)
         n_objects, n_dimensions = data.shape
+        if self.stats_cache is None or self.stats_cache.data is not data:
+            self.stats_cache = ClusterStatsCache(data)
 
         total_dimensions = int(round(self.avg_dimensions * self.n_clusters))
         total_dimensions = max(total_dimensions, 2 * self.n_clusters)
@@ -299,7 +311,10 @@ class PROCLUS:
             dims = dimensions[index]
             if members.size == 0 or dims.size == 0:
                 continue
-            centroid = data[np.ix_(members, dims)].mean(axis=0)
+            # Per-cluster means come from the shared statistics workspace;
+            # slicing the full-dimension mean is bit-identical to the mean
+            # of the sliced block, so the cost value is unchanged.
+            centroid = self.stats_cache.mean(members)[dims]
             total += np.abs(data[np.ix_(members, dims)] - centroid).mean(axis=1).sum()
             count += members.size
         return total / count if count else float("inf")

@@ -6,7 +6,12 @@ the paper:
 * :mod:`repro.core.thresholds` — the two schemes for the selection
   threshold ``s_hat^2_ij`` (parameter ``m`` and parameter ``p``).
 * :mod:`repro.core.objective` — the objective function ``phi`` (Eq. 1-4)
-  and its per-cluster / per-dimension components.
+  and its per-cluster / per-dimension components, including the fused
+  assignment kernel producing the full ``(n, k)`` gain matrix.
+* :mod:`repro.core.stats_cache` — the shared per-iteration statistics
+  workspace: each cluster's statistics are computed once per membership
+  change and reused by ``SelectDim``, ``phi`` and the representative
+  replacement (see the README's Performance notes).
 * :mod:`repro.core.dimension_selection` — the ``SelectDim`` procedure
   (Lemma 1).
 * :mod:`repro.core.grid` — the multi-dimensional histogram (grid) engine
@@ -30,6 +35,7 @@ from repro.core.thresholds import (
     make_threshold,
 )
 from repro.core.objective import ObjectiveFunction, ClusterStatistics
+from repro.core.stats_cache import ClusterStatsCache
 from repro.core.dimension_selection import select_dimensions
 from repro.core.grid import Grid, GridSearchResult
 from repro.core.seed_groups import SeedGroup, SeedGroupBuilder
@@ -50,6 +56,7 @@ __all__ = [
     "make_threshold",
     "ObjectiveFunction",
     "ClusterStatistics",
+    "ClusterStatsCache",
     "select_dimensions",
     "Grid",
     "GridSearchResult",

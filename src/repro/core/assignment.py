@@ -63,13 +63,46 @@ class ClusterState:
         )
 
 
+def compute_gains_matrix(
+    objective: ObjectiveFunction,
+    states: Sequence[ClusterState],
+    *,
+    fused: bool = True,
+) -> np.ndarray:
+    """The ``(n, k)`` assignment-gain matrix for the current states.
+
+    With ``fused=True`` (default) all clusters are evaluated in one
+    broadcasted pass per selected-dimension count
+    (:meth:`~repro.core.objective.ObjectiveFunction.assignment_gains_matrix`);
+    ``fused=False`` keeps the one-cluster-at-a-time reference loop.  The
+    two paths are bit-identical — the naive path exists for the
+    equivalence tests and the hot-path benchmark.
+    """
+    n_objects = objective.n_objects
+    if not fused:
+        gains = np.full((n_objects, len(states)), -np.inf)
+        for cluster_index, state in enumerate(states):
+            if state.dimensions.size == 0:
+                continue
+            gains[:, cluster_index] = objective.assignment_gains(
+                state.representative, state.dimensions, max(state.size_hint, 2)
+            )
+        return gains
+    return objective.assignment_gains_matrix(
+        [state.representative for state in states],
+        [state.dimensions for state in states],
+        [max(state.size_hint, 2) for state in states],
+    )
+
+
 def assign_objects(
     objective: ObjectiveFunction,
     states: Sequence[ClusterState],
     *,
     knowledge: Optional[Knowledge] = None,
     constraints: Optional[PairwiseConstraints] = None,
-) -> np.ndarray:
+    return_gains: bool = False,
+):
     """Assign every object to the best cluster or the outlier list.
 
     Parameters
@@ -85,24 +118,26 @@ def assign_objects(
     constraints:
         Optional must-link / cannot-link constraints (extension); applied
         after the gain computation by masking forbidden clusters.
+    return_gains:
+        When ``True`` also return the ``(n, k)`` gain matrix so callers
+        (``SSPC._force_assign``, diagnostics) can reuse it instead of
+        recomputing the same gains cluster by cluster.
 
     Returns
     -------
-    numpy.ndarray
-        Length-``n`` label vector; ``-1`` marks outliers.
+    numpy.ndarray or (numpy.ndarray, numpy.ndarray)
+        Length-``n`` label vector (``-1`` marks outliers), plus the gain
+        matrix when ``return_gains`` is set.
     """
     n_objects = objective.n_objects
     n_clusters = len(states)
     if n_clusters == 0:
-        return np.full(n_objects, OUTLIER_LABEL, dtype=int)
+        labels = np.full(n_objects, OUTLIER_LABEL, dtype=int)
+        if return_gains:
+            return labels, np.full((n_objects, 0), -np.inf)
+        return labels
 
-    gains = np.full((n_objects, n_clusters), -np.inf)
-    for cluster_index, state in enumerate(states):
-        if state.dimensions.size == 0:
-            continue
-        gains[:, cluster_index] = objective.assignment_gains(
-            state.representative, state.dimensions, max(state.size_hint, 2)
-        )
+    gains = compute_gains_matrix(objective, states)
 
     labels = np.full(n_objects, OUTLIER_LABEL, dtype=int)
     best_cluster = np.argmax(gains, axis=1)
@@ -118,6 +153,8 @@ def assign_objects(
             if class_label < n_clusters:
                 labels[knowledge.objects.for_class(class_label)] = class_label
 
+    if return_gains:
+        return labels, gains
     return labels
 
 
@@ -134,25 +171,29 @@ def _apply_constraints(
     into the best allowed cluster anyway when a must-link partner is
     already assigned there (keeping the pair together outranks the
     outlier rule), otherwise it stays an outlier.
+
+    The object→partners maps are built once up front, so the whole pass
+    costs ``O(objects + links)`` instead of rescanning every link list
+    for every constrained object.
     """
     labels = labels.copy()
     n_clusters = gains.shape[1]
-    constrained_objects = sorted(
-        {index for pair in constraints.must_links + constraints.cannot_links for index in pair}
-    )
+    must_partners, cannot_partners = constraints.partner_maps()
+    constrained_objects = sorted(set(must_partners) | set(cannot_partners))
     order = sorted(
         constrained_objects,
         key=lambda index: -float(np.max(gains[index])) if np.isfinite(np.max(gains[index])) else 0.0,
     )
     for object_index in order:
-        allowed = constraints.allowed_clusters(object_index, labels, n_clusters)
+        allowed = constraints.allowed_clusters(
+            object_index, labels, n_clusters, partner_maps=(must_partners, cannot_partners)
+        )
         allowed_gains = gains[object_index, allowed]
         best_position = int(np.argmax(allowed_gains))
         best_cluster = int(allowed[best_position])
         has_assigned_partner = any(
-            (a == object_index and labels[b] == best_cluster)
-            or (b == object_index and labels[a] == best_cluster)
-            for a, b in constraints.must_links
+            labels[partner] == best_cluster
+            for partner in must_partners.get(object_index, ())
         )
         if allowed_gains[best_position] > 0.0 or has_assigned_partner:
             labels[object_index] = best_cluster

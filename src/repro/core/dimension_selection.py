@@ -5,6 +5,12 @@ is maximised by selecting exactly the dimensions whose dispersion
 ``s^2_ij + (mu_ij - median_ij)^2`` falls below the selection threshold
 ``s_hat^2_ij``.  ``SelectDim`` therefore needs no search: it evaluates
 the inequality per dimension.
+
+Performance note: the cluster statistics backing the dispersion come
+from the objective's shared :class:`~repro.core.stats_cache.ClusterStatsCache`,
+so running ``SelectDim`` on a member set that the same iteration already
+profiled (for ``phi`` or the representative replacement) costs no
+additional statistics pass.
 """
 
 from __future__ import annotations

@@ -96,15 +96,23 @@ class ObjectiveFunction:
     threshold:
         A fitted (or to-be-fitted) :class:`SelectionThreshold`; when it is
         not yet fitted the constructor fits it on ``data``.
+    stats_cache:
+        A :class:`~repro.core.stats_cache.ClusterStatsCache` shared by
+        every statistics consumer.  ``None`` (default) creates a fresh
+        cache for this evaluator; pass an explicit cache to share one
+        workspace across evaluators, or a cache with ``max_entries=0``
+        to disable caching (the naive reference path).
 
     Notes
     -----
     The evaluator is stateless with respect to clusterings: every method
     receives explicit member / dimension index arrays so the SSPC main
     loop, the tests and the ablation benches can all share one instance.
+    Cached statistics are keyed on the exact member byte sequence, so
+    results are bit-identical with and without the cache.
     """
 
-    def __init__(self, data, threshold: SelectionThreshold) -> None:
+    def __init__(self, data, threshold: SelectionThreshold, *, stats_cache=None) -> None:
         self.data = check_array_2d(data, name="data", min_rows=2)
         if not threshold.is_fitted:
             threshold.fit(self.data)
@@ -114,6 +122,18 @@ class ObjectiveFunction:
                 % (threshold.global_variance.shape[0], self.data.shape[1])
             )
         self.threshold = threshold
+        if stats_cache is None:
+            from repro.core.stats_cache import ClusterStatsCache
+
+            stats_cache = ClusterStatsCache(self.data)
+        elif stats_cache.data is not self.data:
+            # A cache keyed against different data would silently serve
+            # statistics of the wrong dataset.
+            if stats_cache.data.shape != self.data.shape or not np.array_equal(
+                stats_cache.data, self.data
+            ):
+                raise ValueError("stats_cache was built for different data")
+        self.stats_cache = stats_cache
 
     # ------------------------------------------------------------------ #
     # basic shapes
@@ -132,8 +152,14 @@ class ObjectiveFunction:
     # per-dimension scores
     # ------------------------------------------------------------------ #
     def cluster_statistics(self, members: Sequence[int]) -> ClusterStatistics:
-        """Statistics of a member set over all dimensions."""
-        return ClusterStatistics.from_members(self.data, members)
+        """Statistics of a member set over all dimensions.
+
+        Served from the shared :class:`ClusterStatsCache`, so repeated
+        queries for the same member set (``SelectDim``, the ``phi``
+        evaluation and the representative replacement all need it every
+        iteration) cost a single statistics pass.
+        """
+        return self.stats_cache.statistics(members)
 
     def phi_ij_all(
         self,
@@ -263,3 +289,69 @@ class ObjectiveFunction:
         thresholds = self.threshold.values(max(cluster_size, 2))[dimensions]
         deltas = self.data[:, dimensions] - representative[dimensions]
         return (1.0 - (deltas ** 2) / thresholds).sum(axis=1)
+
+    def assignment_gains_matrix(
+        self,
+        representatives: Sequence[np.ndarray],
+        dimension_sets: Sequence[Sequence[int]],
+        cluster_sizes: Sequence[int],
+    ) -> np.ndarray:
+        """Fused assignment kernel: the full ``(n, k)`` gains matrix.
+
+        Evaluates :meth:`assignment_gains` for every cluster at once.
+        Clusters are grouped by selected-dimension count so each group is
+        one broadcasted pass over a single contiguous ``(n, g, c)`` view
+        of the data — one gather and one reduction instead of ``k``
+        Python-level passes.  Grouping (rather than padding to the
+        largest dimension set) keeps every per-cluster reduction over
+        exactly the same elements in the same order as the one-cluster
+        kernel, so the matrix is **bit-identical** to stacking ``k``
+        :meth:`assignment_gains` calls.
+
+        Clusters with an empty dimension set receive ``-inf`` (they can
+        never win an assignment), matching the assignment step's
+        skip-and-keep--inf behaviour.
+
+        Parameters
+        ----------
+        representatives:
+            Per-cluster full ``d``-vectors.
+        dimension_sets:
+            Per-cluster selected dimension index arrays.
+        cluster_sizes:
+            Per-cluster sizes for the size-dependent threshold schemes;
+            values below 2 are clamped to 2 as in the scalar kernel.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n, k)`` matrix of per-object score gains.
+        """
+        k = len(dimension_sets)
+        if not (len(representatives) == len(cluster_sizes) == k):
+            raise ValueError("representatives, dimension_sets and cluster_sizes must align")
+        gains = np.full((self.n_objects, k), -np.inf)
+        groups: dict = {}
+        for index in range(k):
+            count = int(np.asarray(dimension_sets[index]).size)
+            if count:
+                groups.setdefault(count, []).append(index)
+        for count, cluster_ids in groups.items():
+            dims_stack = np.stack(
+                [np.asarray(dimension_sets[index], dtype=int) for index in cluster_ids]
+            )
+            reps = np.stack(
+                [
+                    np.asarray(representatives[index], dtype=float).ravel()[dims_stack[position]]
+                    for position, index in enumerate(cluster_ids)
+                ]
+            )
+            thresholds = np.stack(
+                [
+                    self.threshold.values(max(int(cluster_sizes[index]), 2))[dims_stack[position]]
+                    for position, index in enumerate(cluster_ids)
+                ]
+            )
+            deltas = self.data[:, dims_stack] - reps[None, :, :]
+            gains[:, cluster_ids] = (1.0 - (deltas ** 2) / thresholds[None, :, :]).sum(axis=2)
+        return gains

@@ -145,7 +145,10 @@ def replace_representatives(
             )
             continue
         if state.members.size > 0:
-            median = np.median(objective.data[state.members], axis=0)
+            # Served by the shared statistics cache: the same member set
+            # was already profiled by SelectDim / the phi evaluation this
+            # iteration, so no extra statistics pass happens here.
+            median = objective.cluster_statistics(state.members).median.copy()
         else:
             median = state.representative.copy()
         next_states.append(

@@ -45,7 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.dimension_selection import select_dimensions
-from repro.core.grid import Grid, one_dimensional_density
+from repro.core.grid import Grid, one_dimensional_density_profile
 from repro.core.objective import ObjectiveFunction
 from repro.core.thresholds import ChiSquareThreshold
 from repro.semisupervision.knowledge import Knowledge
@@ -323,10 +323,14 @@ class SeedGroupBuilder:
         return candidates, weights
 
     def _labeled_object_anchor(self, labeled_objects: np.ndarray) -> Optional[np.ndarray]:
-        """The median of the labeled objects (hill-climbing start point)."""
+        """The median of the labeled objects (hill-climbing start point).
+
+        Shares the statistics pass already performed for the candidate
+        dimensions via the objective's :class:`ClusterStatsCache`.
+        """
         if labeled_objects.size == 0:
             return None
-        return np.median(self.objective.data[labeled_objects], axis=0)
+        return self.objective.cluster_statistics(labeled_objects).median.copy()
 
     # ------------------------------------------------------------------ #
     # public groups (case 4)
@@ -346,17 +350,11 @@ class SeedGroupBuilder:
         anchor = self.objective.data[anchor_index]
 
         histogram_bins = max(2 * self._effective_bins(available.size), 8)
-        densities = np.asarray(
-            [
-                one_dimensional_density(
-                    self.objective.data,
-                    dimension,
-                    anchor[dimension],
-                    bins=histogram_bins,
-                    restrict_to=available,
-                )
-                for dimension in range(self.objective.n_dimensions)
-            ]
+        densities = one_dimensional_density_profile(
+            self.objective.data,
+            anchor,
+            bins=histogram_bins,
+            restrict_to=available,
         )
         candidates = np.arange(self.objective.n_dimensions)
         # Weight dimensions by their density *excess* over the uniform

@@ -45,6 +45,7 @@ from repro.core.representatives import (
     replace_representatives,
 )
 from repro.core.seed_groups import SeedGroup, SeedGroupBuilder
+from repro.core.stats_cache import ClusterStatsCache
 from repro.core.thresholds import make_threshold
 from repro.semisupervision.constraints import PairwiseConstraints
 from repro.semisupervision.knowledge import Knowledge
@@ -167,6 +168,11 @@ class SSPC:
         self.selected_dimensions_: Optional[List[np.ndarray]] = None
         self.objective_: float = float("nan")
         self.n_iterations_: int = 0
+        self.stats_cache_: Optional[ClusterStatsCache] = None
+
+    # Hook for the equivalence tests and benchmarks: override to supply a
+    # differently configured workspace (e.g. a disabled cache).
+    _stats_cache_factory = staticmethod(ClusterStatsCache)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -198,7 +204,12 @@ class SSPC:
         rng = ensure_rng(self.random_state)
 
         threshold = make_threshold(**self._threshold_args)
-        objective = ObjectiveFunction(data, threshold)
+        # The per-iteration workspace: one statistics pass per distinct
+        # member set, shared by SelectDim, the phi evaluation, the
+        # representative replacement and the seed-group builder.
+        workspace = self._stats_cache_factory(data)
+        objective = ObjectiveFunction(data, threshold, stats_cache=workspace)
+        self.stats_cache_ = workspace
 
         private_groups, public_groups = SeedGroupBuilder(
             objective,
@@ -220,14 +231,15 @@ class SSPC:
         iteration = 0
         while iteration < self.max_iterations and stale_iterations < self.patience:
             iteration += 1
-            labels = assign_objects(
+            labels, gains = assign_objects(
                 objective,
                 states,
                 knowledge=knowledge,
                 constraints=constraints,
+                return_gains=True,
             )
             if not self.allow_outliers:
-                labels = self._force_assign(objective, states, labels)
+                labels = self._force_assign(labels, gains)
             members = members_from_labels(labels, self.n_clusters)
             for state, cluster_members in zip(states, members):
                 state.members = cluster_members
@@ -242,12 +254,14 @@ class SSPC:
             phi_scores, overall = compute_phi_scores(objective, states)
 
             if best is None or overall > best.objective + 1e-12:
+                # A single deep copy of the state arrays suffices — the
+                # snapshot constructor already receives fresh copies.
                 best = _IterationSnapshot(
                     states=[state.copy() for state in states],
                     labels=labels.copy(),
                     phi_scores=list(phi_scores),
-                    objective=overall,
-                ).copy()
+                    objective=float(overall),
+                )
                 stale_iterations = 0
             else:
                 stale_iterations += 1
@@ -381,25 +395,17 @@ class SSPC:
     # ------------------------------------------------------------------ #
     # assignment helpers
     # ------------------------------------------------------------------ #
-    def _force_assign(
-        self,
-        objective: ObjectiveFunction,
-        states: Sequence[ClusterState],
-        labels: np.ndarray,
-    ) -> np.ndarray:
-        """Assign outliers to their nearest cluster when outliers are disabled."""
+    def _force_assign(self, labels: np.ndarray, gains: np.ndarray) -> np.ndarray:
+        """Assign outliers to their nearest cluster when outliers are disabled.
+
+        Reuses the gain matrix already computed by the assignment pass
+        instead of re-evaluating every cluster's gains from scratch.
+        """
         labels = labels.copy()
         outliers = np.flatnonzero(labels == -1)
         if outliers.size == 0:
             return labels
-        gains = np.full((outliers.size, len(states)), -np.inf)
-        for cluster_index, state in enumerate(states):
-            if state.dimensions.size == 0:
-                continue
-            gains[:, cluster_index] = objective.assignment_gains(
-                state.representative, state.dimensions, max(state.size_hint, 2)
-            )[outliers]
-        labels[outliers] = np.argmax(gains, axis=1)
+        labels[outliers] = np.argmax(gains[outliers], axis=1)
         return labels
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,207 @@
+"""Shared per-iteration statistics engine for the SSPC hot loop.
+
+Every pass of the SSPC main loop (Listing 2) needs the same per-cluster,
+per-dimension statistics — mean, median and variance of the member
+block — in three different places:
+
+* ``SelectDim`` compares the dispersion against the selection threshold
+  (:mod:`repro.core.dimension_selection`),
+* the objective evaluation computes ``phi_ij`` from the same dispersion
+  (:mod:`repro.core.objective`), and
+* the representative-replacement step takes the cluster median
+  (:mod:`repro.core.representatives`).
+
+The seed implementation recomputed the full statistics from scratch at
+each site — three full passes over every cluster's data block per
+iteration, with the median (a sort-based :math:`O(m d \\log m)`
+operation) dominating.  :class:`ClusterStatsCache` removes the
+redundancy: statistics are computed **exactly once per distinct member
+set** and shared by every consumer.
+
+Design
+------
+The cache is keyed on a cheap fingerprint of the member index array (its
+raw bytes).  Two lookups hit the same entry exactly when the member
+arrays are byte-identical, which also guarantees the returned statistics
+are *bit-identical* to a direct :meth:`ClusterStatistics.from_members`
+call — the single-statistics-pass invariant never changes results, only
+how often they are computed.  A membership change produces a different
+byte string, so stale entries are never returned; old entries are
+evicted in insertion order once ``max_entries`` is exceeded (the SSPC
+loop only ever needs the current iteration's ``k`` member sets plus the
+best-so-far snapshot, so a small bound suffices).
+
+The cache is shared beyond SSPC: :class:`~repro.core.objective.ObjectiveFunction`
+creates one by default (so ``SelectDim``, ``phi`` and the seed-group
+builder all hit the same store), and the baselines
+(:mod:`repro.baselines.harp`, :mod:`repro.baselines.proclus`) reuse the
+same engine for their own per-cluster statistics.
+
+Setting ``max_entries=0`` disables storage entirely (every call computes
+fresh statistics); the micro-benchmark
+(``benchmarks/bench_hotpath.py``) uses this to time the naive reference
+path against the cached path on identical code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.objective import ClusterStatistics
+
+__all__ = ["ClusterStatsCache"]
+
+
+class ClusterStatsCache:
+    """Compute-once store of :class:`ClusterStatistics` per member set.
+
+    Parameters
+    ----------
+    data:
+        The ``(n, d)`` dataset all statistics are computed against.
+    max_entries:
+        Upper bound on stored entries; the oldest entry is evicted when
+        the bound is exceeded.  ``0`` disables caching (pass-through
+        mode, used as the naive reference in benchmarks and tests).
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters.  ``misses`` equals the number of full-data
+        statistics passes actually performed, so consumers (tests, the
+        hot-path benchmark) can assert the single-pass invariant.
+    """
+
+    def __init__(self, data: np.ndarray, *, max_entries: int = 128) -> None:
+        # Statistics must be computed at the same dtype every consumer
+        # uses (float64), or the bit-identity contract breaks for
+        # float32 / list inputs.
+        self.data = np.asarray(data, dtype=float)
+        if self.data.ndim != 2:
+            raise ValueError("data must be a 2-d array")
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[bytes, ClusterStatistics]" = OrderedDict()
+        self._mean_store: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._global: Optional[ClusterStatistics] = None
+        self._global_variance: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def statistics(self, members: Sequence[int]) -> ClusterStatistics:
+        """Statistics of ``members``, computed at most once per member set.
+
+        The key is the byte representation of the (order-preserving)
+        ``int64`` member array, so cached results are bit-identical to a
+        direct computation and a membership change can never alias a
+        stale entry.
+        """
+        members = np.ascontiguousarray(members, dtype=np.int64)
+        if self.max_entries == 0:
+            self.misses += 1
+            return ClusterStatistics.from_members(self.data, members)
+        key = members.tobytes()
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return cached
+        self.misses += 1
+        stats = ClusterStatistics.from_members(self.data, members)
+        self._store[key] = stats
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return stats
+
+    def median(self, members: Sequence[int]) -> np.ndarray:
+        """Per-dimension median of ``members`` (shares the cached pass)."""
+        return self.statistics(members).median
+
+    def mean(self, members: Sequence[int]) -> np.ndarray:
+        """Per-dimension mean of ``members`` without a full statistics pass.
+
+        A lighter entry point for consumers that never need the median or
+        variance (e.g. the PROCLUS cost evaluation): a full cached
+        statistics entry is reused when one exists, otherwise only the
+        mean is computed and memoized — the expensive sort-based median
+        is never triggered.
+        """
+        members = np.ascontiguousarray(members, dtype=np.int64)
+        if members.size == 0:
+            return np.zeros(self.data.shape[1])
+        if self.max_entries == 0:
+            return self.data[members].mean(axis=0)
+        key = members.tobytes()
+        full = self._store.get(key)
+        if full is not None:
+            self.hits += 1
+            return full.mean
+        cached = self._mean_store.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._mean_store.move_to_end(key)
+            return cached
+        mean = self.data[members].mean(axis=0)
+        self._mean_store[key] = mean
+        while len(self._mean_store) > self.max_entries:
+            self._mean_store.popitem(last=False)
+        return mean
+
+    @property
+    def global_statistics(self) -> ClusterStatistics:
+        """Statistics of the full dataset (computed once, never evicted)."""
+        if self._global is None:
+            self._global = ClusterStatistics.from_members(
+                self.data, np.arange(self.data.shape[0], dtype=np.int64)
+            )
+        return self._global
+
+    @property
+    def global_variance(self) -> np.ndarray:
+        """Global per-column variance (``ddof=1``), computed once.
+
+        Cheaper than :attr:`global_statistics` for consumers that never
+        need the global median (HARP's relevance index, threshold
+        fitting): no sort-based median pass is triggered.
+        """
+        if self._global is not None:
+            return self._global.variance
+        if self._global_variance is None:
+            self._global_variance = self.data.var(axis=0, ddof=1)
+        return self._global_variance
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def n_stat_passes(self) -> int:
+        """Number of full statistics computations performed so far."""
+        return self.misses
+
+    @property
+    def n_entries(self) -> int:
+        """Number of member sets currently stored."""
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every stored entry and reset the counters."""
+        self._store.clear()
+        self._mean_store.clear()
+        self._global = None
+        self._global_variance = None
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return "ClusterStatsCache(entries=%d, hits=%d, misses=%d)" % (
+            len(self._store),
+            self.hits,
+            self.misses,
+        )

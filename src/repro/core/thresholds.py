@@ -49,6 +49,7 @@ class SelectionThreshold(abc.ABC):
 
     def __init__(self) -> None:
         self._global_variance: Optional[np.ndarray] = None
+        self._values_cache: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -62,6 +63,7 @@ class SelectionThreshold(abc.ABC):
         # columns as carrying the smallest representable spread instead.
         tiny = np.finfo(float).tiny
         self._global_variance = np.maximum(variance, tiny)
+        self._values_cache.clear()
         return self
 
     def fit_from_variance(self, global_variance) -> "SelectionThreshold":
@@ -72,6 +74,7 @@ class SelectionThreshold(abc.ABC):
         if np.any(variance < 0):
             raise ValueError("global_variance must be non-negative")
         self._global_variance = np.maximum(variance, np.finfo(float).tiny)
+        self._values_cache.clear()
         return self
 
     @property
@@ -89,9 +92,31 @@ class SelectionThreshold(abc.ABC):
     # ------------------------------------------------------------------ #
     # querying
     # ------------------------------------------------------------------ #
-    @abc.abstractmethod
     def values(self, cluster_size: int) -> np.ndarray:
-        """Vector of ``s_hat^2_ij`` over all dimensions for a cluster of this size."""
+        """Vector of ``s_hat^2_ij`` over all dimensions for a cluster of this size.
+
+        The same few cluster sizes recur every SSPC iteration, so the
+        threshold vectors are memoized per effective size key (refitting
+        clears the memo).  The returned array is marked read-only —
+        callers slice or combine it arithmetically, never mutate it.
+        """
+        if cluster_size < 0:
+            raise ValueError("cluster_size must be non-negative")
+        key = self._cache_key(int(cluster_size))
+        cached = self._values_cache.get(key)
+        if cached is None:
+            cached = np.asarray(self._compute_values(int(cluster_size)), dtype=float)
+            cached.flags.writeable = False
+            self._values_cache[key] = cached
+        return cached
+
+    def _cache_key(self, cluster_size: int) -> int:
+        """Memoization key; override when thresholds depend on the size."""
+        return 0
+
+    @abc.abstractmethod
+    def _compute_values(self, cluster_size: int) -> np.ndarray:
+        """Uncached threshold vector for one cluster size."""
 
     @abc.abstractmethod
     def describe(self) -> Dict[str, float]:
@@ -116,10 +141,8 @@ class VarianceRatioThreshold(SelectionThreshold):
         super().__init__()
         self.m = check_fraction(m, name="m", inclusive_low=False)
 
-    def values(self, cluster_size: int) -> np.ndarray:
+    def _compute_values(self, cluster_size: int) -> np.ndarray:
         """Thresholds are independent of the cluster size under this scheme."""
-        if cluster_size < 0:
-            raise ValueError("cluster_size must be non-negative")
         return self.m * self.global_variance
 
     def describe(self) -> Dict[str, float]:
@@ -159,9 +182,11 @@ class ChiSquareThreshold(SelectionThreshold):
             self._factor_cache[dof] = float(stats.chi2.ppf(self.p, dof) / dof)
         return self._factor_cache[dof]
 
-    def values(self, cluster_size: int) -> np.ndarray:
-        if cluster_size < 0:
-            raise ValueError("cluster_size must be non-negative")
+    def _cache_key(self, cluster_size: int) -> int:
+        """Thresholds only depend on the effective degrees of freedom."""
+        return max(cluster_size - 1, self.min_degrees_of_freedom)
+
+    def _compute_values(self, cluster_size: int) -> np.ndarray:
         return self._factor(cluster_size) * self.global_variance
 
     def describe(self) -> Dict[str, float]:

@@ -15,7 +15,7 @@ the constrained-clustering literature.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -125,11 +125,32 @@ class PairwiseConstraints:
                 count += 1
         return count
 
+    def partner_maps(self) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        """Object→partners adjacency maps ``(must, cannot)``.
+
+        Built in one ``O(links)`` scan so batch consumers (the constraint
+        pass of the assignment step) can resolve every constrained object
+        without rescanning the link lists per object.
+        """
+        must: Dict[int, List[int]] = {}
+        cannot: Dict[int, List[int]] = {}
+        for a, b in self.must_links:
+            must.setdefault(a, []).append(b)
+            must.setdefault(b, []).append(a)
+        for a, b in self.cannot_links:
+            cannot.setdefault(a, []).append(b)
+            cannot.setdefault(b, []).append(a)
+        return must, cannot
+
     def allowed_clusters(
         self,
         object_index: int,
         labels: np.ndarray,
         n_clusters: int,
+        *,
+        partner_maps: Optional[
+            Tuple[Dict[int, List[int]], Dict[int, List[int]]]
+        ] = None,
     ) -> np.ndarray:
         """Clusters ``object_index`` may join given the current assignment.
 
@@ -138,22 +159,25 @@ class PairwiseConstraints:
         partners.  When the constraints are unsatisfiable for the current
         assignment the full range is returned (the caller then falls back
         to the unconstrained behaviour rather than dead-locking).
+
+        Parameters
+        ----------
+        partner_maps:
+            Optional precomputed :meth:`partner_maps` result; supply it
+            when querying many objects against the same constraint set
+            to avoid the per-object link scan.
         """
         labels = np.asarray(labels)
+        if partner_maps is None:
+            partner_maps = self.partner_maps()
+        must_partners, cannot_partners = partner_maps
         allowed = np.ones(n_clusters, dtype=bool)
         forced: Set[int] = set()
-        for a, b in self.must_links:
-            if a == object_index and labels[b] >= 0:
-                forced.add(int(labels[b]))
-            elif b == object_index and labels[a] >= 0:
-                forced.add(int(labels[a]))
-        for a, b in self.cannot_links:
-            partner = None
-            if a == object_index:
-                partner = b
-            elif b == object_index:
-                partner = a
-            if partner is not None and labels[partner] >= 0:
+        for partner in must_partners.get(object_index, ()):
+            if labels[partner] >= 0:
+                forced.add(int(labels[partner]))
+        for partner in cannot_partners.get(object_index, ()):
+            if labels[partner] >= 0:
                 allowed[int(labels[partner])] = False
         if forced:
             mask = np.zeros(n_clusters, dtype=bool)
