@@ -2,14 +2,22 @@
 
 Generates a synthetic dataset following the paper's data model (Section 3),
 runs SSPC without any domain knowledge, and reports how well the produced
-clusters and selected dimensions match the ground truth.
+clusters and selected dimensions match the ground truth.  The last section
+shows the serving lifecycle: persist the fitted model as an artifact,
+reload it (as a fresh process would), and assign new out-of-sample points
+to the learned projected clusters.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import SSPC
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import SSPC, ProjectedClusterIndex, load_artifact
 from repro.data import make_projected_clusters
 from repro.evaluation import clustering_report
 
@@ -55,6 +63,53 @@ def main() -> None:
     print("evaluation against the ground truth:")
     for key, value in sorted(report.items()):
         print("  %-22s %.3f" % (key, value))
+
+    # ------------------------------------------------------------------ #
+    # Serving: save the model, load it back, predict on unseen points.
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = Path(tmp) / "sspc-model"
+        model.save(artifact_dir)
+        print()
+        print("artifact saved to %s" % artifact_dir)
+
+        # A fresh process would only need the artifact directory — no
+        # training data, no refit.
+        index = ProjectedClusterIndex(load_artifact(artifact_dir))
+
+        # New traffic: points drawn near existing members (should be
+        # assigned) plus uniform background noise (should be rejected by
+        # the outlier gate).
+        rng = np.random.default_rng(1)
+        members = rng.choice(dataset.n_objects, size=30, replace=False)
+        near = dataset.data[members] + rng.normal(
+            scale=0.02, size=(30, dataset.n_dimensions)
+        )
+        noise = rng.uniform(
+            dataset.data.min(), dataset.data.max(), size=(30, dataset.n_dimensions)
+        )
+        new_points = np.vstack([near, noise])
+
+        labels = index.predict(new_points)
+        assigned = int(np.count_nonzero(labels >= 0))
+        print(
+            "predicted %d new points: %d assigned, %d rejected as outliers"
+            % (labels.size, assigned, labels.size - assigned)
+        )
+
+        # Soft assignments: each point's two best clusters and their gains.
+        _, top_clusters, top_gains = index.top_assignments(new_points[:3], top_m=2)
+        for row in range(3):
+            print(
+                "  point %d: best cluster %d (gain %.2f), runner-up %d (gain %.2f)"
+                % (row, top_clusters[row, 0], top_gains[row, 0],
+                   top_clusters[row, 1], top_gains[row, 1])
+            )
+
+        # Fold the accepted points into the serving statistics (no refit).
+        index.partial_update(new_points, labels)
+        print("after partial_update the served cluster sizes are %s"
+              % index.cluster_sizes().tolist())
 
 
 if __name__ == "__main__":

@@ -18,6 +18,10 @@ Clustering" (Yip, Cheung, Ng; ICDE 2005):
   plus auxiliary metrics.
 * :mod:`repro.experiments` — runners that regenerate every table and
   figure of the paper's evaluation section.
+* :mod:`repro.serving` — model artifacts and high-throughput
+  out-of-sample inference: save a fitted model, reload it in another
+  process, and assign batches of unseen points to the learned projected
+  clusters (``python -m repro.serve`` for the command line).
 
 Quickstart
 ----------
@@ -33,8 +37,9 @@ Quickstart
 from repro.core.model import OUTLIER_LABEL, ClusteringResult, ProjectedCluster
 from repro.core.sspc import SSPC
 from repro.semisupervision.knowledge import Knowledge
+from repro.serving import ModelArtifact, ProjectedClusterIndex, load_artifact
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SSPC",
@@ -42,5 +47,8 @@ __all__ = [
     "ClusteringResult",
     "ProjectedCluster",
     "OUTLIER_LABEL",
+    "ModelArtifact",
+    "ProjectedClusterIndex",
+    "load_artifact",
     "__version__",
 ]

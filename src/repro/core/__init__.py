@@ -34,7 +34,11 @@ from repro.core.thresholds import (
     VarianceRatioThreshold,
     make_threshold,
 )
-from repro.core.objective import ObjectiveFunction, ClusterStatistics
+from repro.core.objective import (
+    ClusterStatistics,
+    ObjectiveFunction,
+    grouped_assignment_gains,
+)
 from repro.core.stats_cache import ClusterStatsCache
 from repro.core.dimension_selection import select_dimensions
 from repro.core.grid import Grid, GridSearchResult
@@ -56,6 +60,7 @@ __all__ = [
     "make_threshold",
     "ObjectiveFunction",
     "ClusterStatistics",
+    "grouped_assignment_gains",
     "ClusterStatsCache",
     "select_dimensions",
     "Grid",

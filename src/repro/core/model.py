@@ -232,12 +232,20 @@ class ClusteringResult:
         n_dimensions: int,
         *,
         dimensions: Optional[Sequence[Sequence[int]]] = None,
+        scores: Optional[Sequence[float]] = None,
+        representatives: Optional[Sequence[Optional[np.ndarray]]] = None,
         objective: float = float("nan"),
+        n_iterations: int = 0,
         algorithm: str = "",
         parameters: Optional[Dict[str, object]] = None,
         n_clusters: Optional[int] = None,
     ) -> "ClusteringResult":
         """Build a result from a membership label vector.
+
+        Together with :meth:`labels` this forms an exact round trip:
+        ``from_labels(result.labels(), ...)`` reconstructs the clusters
+        (including outliers, which are simply the ``-1`` entries) — the
+        property the serving artifact format relies on.
 
         Parameters
         ----------
@@ -249,6 +257,14 @@ class ClusteringResult:
             Optional per-cluster selected dimensions.  When omitted every
             cluster is assumed to use all dimensions (the convention for
             non-projected baselines such as CLARANS).
+        scores:
+            Optional per-cluster ``phi_i`` scores, aligned with the
+            cluster indices.
+        representatives:
+            Optional per-cluster representative vectors (``None`` entries
+            are allowed), aligned with the cluster indices.
+        n_iterations:
+            Number of optimisation iterations behind the labels.
         n_clusters:
             Number of clusters; inferred from the labels when omitted.
         """
@@ -263,12 +279,26 @@ class ClusteringResult:
                 dims = check_index_sequence(dimensions[index], n_dimensions, name="dimensions")
             else:
                 dims = np.arange(n_dimensions)
-            clusters.append(ProjectedCluster(members=members, dimensions=dims))
+            score = float("nan")
+            if scores is not None and index < len(scores):
+                score = float(scores[index])
+            representative = None
+            if representatives is not None and index < len(representatives):
+                representative = representatives[index]
+            clusters.append(
+                ProjectedCluster(
+                    members=members,
+                    dimensions=dims,
+                    score=score,
+                    representative=representative,
+                )
+            )
         return cls(
             clusters=clusters,
             n_objects=n_objects,
             n_dimensions=int(n_dimensions),
             objective=objective,
+            n_iterations=int(n_iterations),
             algorithm=algorithm,
             parameters=dict(parameters or {}),
         )

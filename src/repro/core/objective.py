@@ -46,6 +46,66 @@ from repro.core.thresholds import SelectionThreshold
 from repro.utils.validation import check_array_2d
 
 
+def grouped_assignment_gains(
+    points: np.ndarray,
+    cluster_dimensions: Sequence[np.ndarray],
+    cluster_centers: Sequence[np.ndarray],
+    cluster_thresholds: Sequence[np.ndarray],
+) -> np.ndarray:
+    """The grouped broadcast kernel shared by training and serving.
+
+    Computes the ``(n, k)`` matrix of assignment gains ::
+
+        gain_i(x) = sum_{v_j in V_i} (1 - (x_j - c_ij)^2 / s_hat^2_ij)
+
+    for every point/cluster pair at once.  Clusters are grouped by
+    selected-dimension count and each group is evaluated in one
+    broadcasted pass over a contiguous ``(n, g, c)`` gather of
+    ``points``; grouping (rather than padding) keeps every per-cluster
+    reduction over exactly the same elements in the same order as a
+    scalar one-cluster evaluation, so the matrix is **bit-identical** to
+    ``k`` separate passes.  This single implementation backs both
+    :meth:`ObjectiveFunction.assignment_gains_matrix` (the training hot
+    loop) and :meth:`repro.serving.index.ProjectedClusterIndex.gains_matrix`
+    (out-of-sample inference), so the training/serving equivalence
+    contract has one source of truth.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` rows to score.
+    cluster_dimensions:
+        Per-cluster selected dimension index arrays.  Clusters with an
+        empty array receive a ``-inf`` column (they can never win).
+    cluster_centers, cluster_thresholds:
+        Per-cluster center values and thresholds, each *already
+        restricted* to the cluster's selected dimensions (length
+        ``|V_i|`` arrays aligned with ``cluster_dimensions``).
+    """
+    k = len(cluster_dimensions)
+    if not (len(cluster_centers) == len(cluster_thresholds) == k):
+        raise ValueError("cluster_dimensions, cluster_centers and cluster_thresholds must align")
+    gains = np.full((points.shape[0], k), -np.inf)
+    groups: dict = {}
+    for index in range(k):
+        count = int(np.asarray(cluster_dimensions[index]).size)
+        if count:
+            groups.setdefault(count, []).append(index)
+    for count, cluster_ids in groups.items():
+        dims_stack = np.stack(
+            [np.asarray(cluster_dimensions[index], dtype=int) for index in cluster_ids]
+        )
+        centers = np.stack(
+            [np.asarray(cluster_centers[index], dtype=float) for index in cluster_ids]
+        )
+        thresholds = np.stack(
+            [np.asarray(cluster_thresholds[index], dtype=float) for index in cluster_ids]
+        )
+        deltas = points[:, dims_stack] - centers[None, :, :]
+        gains[:, cluster_ids] = (1.0 - (deltas ** 2) / thresholds[None, :, :]).sum(axis=2)
+    return gains
+
+
 @dataclass
 class ClusterStatistics:
     """Per-dimension statistics of one cluster used by the objective.
@@ -330,28 +390,13 @@ class ObjectiveFunction:
         k = len(dimension_sets)
         if not (len(representatives) == len(cluster_sizes) == k):
             raise ValueError("representatives, dimension_sets and cluster_sizes must align")
-        gains = np.full((self.n_objects, k), -np.inf)
-        groups: dict = {}
-        for index in range(k):
-            count = int(np.asarray(dimension_sets[index]).size)
-            if count:
-                groups.setdefault(count, []).append(index)
-        for count, cluster_ids in groups.items():
-            dims_stack = np.stack(
-                [np.asarray(dimension_sets[index], dtype=int) for index in cluster_ids]
-            )
-            reps = np.stack(
-                [
-                    np.asarray(representatives[index], dtype=float).ravel()[dims_stack[position]]
-                    for position, index in enumerate(cluster_ids)
-                ]
-            )
-            thresholds = np.stack(
-                [
-                    self.threshold.values(max(int(cluster_sizes[index]), 2))[dims_stack[position]]
-                    for position, index in enumerate(cluster_ids)
-                ]
-            )
-            deltas = self.data[:, dims_stack] - reps[None, :, :]
-            gains[:, cluster_ids] = (1.0 - (deltas ** 2) / thresholds[None, :, :]).sum(axis=2)
-        return gains
+        dimensions = [np.asarray(dims, dtype=int) for dims in dimension_sets]
+        centers = [
+            np.asarray(representatives[index], dtype=float).ravel()[dimensions[index]]
+            for index in range(k)
+        ]
+        thresholds = [
+            self.threshold.values(max(int(cluster_sizes[index]), 2))[dimensions[index]]
+            for index in range(k)
+        ]
+        return grouped_assignment_gains(self.data, dimensions, centers, thresholds)

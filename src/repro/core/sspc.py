@@ -169,6 +169,9 @@ class SSPC:
         self.objective_: float = float("nan")
         self.n_iterations_: int = 0
         self.stats_cache_: Optional[ClusterStatsCache] = None
+        self.threshold_ = None
+        self._serving_artifact = None
+        self._serving_indexes: Dict[str, object] = {}
 
     # Hook for the equivalence tests and benchmarks: override to supply a
     # differently configured workspace (e.g. a disabled cache).
@@ -210,6 +213,10 @@ class SSPC:
         workspace = self._stats_cache_factory(data)
         objective = ObjectiveFunction(data, threshold, stats_cache=workspace)
         self.stats_cache_ = workspace
+        self.threshold_ = threshold
+        # A refit invalidates any serving state built from the old model.
+        self._serving_artifact = None
+        self._serving_indexes = {}
 
         private_groups, public_groups = SeedGroupBuilder(
             objective,
@@ -291,6 +298,80 @@ class SSPC:
     ) -> np.ndarray:
         """Convenience: :meth:`fit` then return the membership labels."""
         return self.fit(data, knowledge, constraints=constraints).labels_
+
+    def to_artifact(self, *, include_projections: bool = True, metadata=None):
+        """Capture the fitted model as a :class:`~repro.serving.artifact.ModelArtifact`.
+
+        Reuses the fit's own statistics cache (so the capture performs no
+        new statistics passes) and its fitted selection threshold.
+        """
+        if self.result_ is None:
+            raise RuntimeError("estimator is not fitted; call fit(data) first")
+        from repro.serving.artifact import ModelArtifact
+
+        return ModelArtifact.from_result(
+            self.result_,
+            self.stats_cache_.data,
+            threshold=self.threshold_,
+            stats_cache=self.stats_cache_,
+            include_projections=include_projections,
+            metadata=metadata,
+        )
+
+    def save(self, path, *, include_projections: bool = True, metadata=None):
+        """Persist the fitted model to an artifact directory at ``path``.
+
+        The artifact can later be restored with
+        :func:`repro.serving.load_artifact` and served with
+        :class:`~repro.serving.index.ProjectedClusterIndex` — no training
+        data required.  Returns the artifact directory path.
+        """
+        return self.to_artifact(
+            include_projections=include_projections, metadata=metadata
+        ).save(path)
+
+    def predict(self, data, *, top_m: Optional[int] = None, center: str = "median"):
+        """Assign *new* (out-of-sample) points to the fitted clusters.
+
+        Points are scored with the paper's assignment rule against the
+        fitted clusters (``-1`` marks points that fail the outlier gate;
+        with ``allow_outliers=False`` estimators, points are
+        force-assigned just as during fitting).  The artifact capture
+        happens once per fit and the serving index once per center mode,
+        so repeated calls only pay the batched scoring pass.
+
+        Parameters
+        ----------
+        data:
+            ``(n_new, d)`` points; ``d`` must match the training data.
+        top_m:
+            When given, return ``(labels, clusters, gains)`` with each
+            point's ``top_m`` soft assignments instead of labels alone.
+        center:
+            Per-cluster scoring center (``"median"``, ``"representative"``
+            or ``"mean"``); see
+            :class:`~repro.serving.index.ProjectedClusterIndex`.
+
+        Notes
+        -----
+        This scores points against the *final* clusters, so predicting
+        the training data is not guaranteed to reproduce ``labels_``
+        (which also reflects knowledge pinning and the winning
+        iteration's representatives).
+        """
+        if self.result_ is None:
+            raise RuntimeError("estimator is not fitted; call fit(data) first")
+        from repro.serving.index import ProjectedClusterIndex
+
+        if self._serving_artifact is None:
+            self._serving_artifact = self.to_artifact()
+        index = self._serving_indexes.get(center)
+        if index is None:
+            index = ProjectedClusterIndex(self._serving_artifact, center=center)
+            self._serving_indexes[center] = index
+        if top_m is not None:
+            return index.top_assignments(data, top_m)
+        return index.predict(data)
 
     def get_params(self) -> Dict[str, object]:
         """Constructor parameters (for reporting and cloning)."""

@@ -46,13 +46,80 @@ path against the cached path on identical code.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.objective import ClusterStatistics
 
-__all__ = ["ClusterStatsCache"]
+__all__ = ["ClusterStatsCache", "merge_mean_variance"]
+
+
+def merge_mean_variance(
+    size_a: int,
+    mean_a: np.ndarray,
+    variance_a: np.ndarray,
+    size_b: int,
+    mean_b: np.ndarray,
+    variance_b: np.ndarray,
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Pool two disjoint blocks' (size, mean, variance) without their data.
+
+    Implements Chan et al.'s parallel update of the sum of squared
+    deviations: with ``M2 = (n - 1) * variance`` (``ddof=1``, and ``M2 = 0``
+    for blocks of fewer than two rows, matching
+    :meth:`~repro.core.objective.ClusterStatistics.from_members`)::
+
+        n      = n_a + n_b
+        delta  = mean_b - mean_a
+        mean   = mean_a + delta * n_b / n
+        M2     = M2_a + M2_b + delta^2 * n_a * n_b / n
+
+    This is the serving-side ``partial_update`` primitive: a cluster's
+    cached statistics are folded together with a batch of newly accepted
+    points in O(d), no refit over the historical members required.  The
+    result agrees with a from-scratch pass over the concatenated blocks
+    up to floating-point rounding.
+
+    Parameters
+    ----------
+    size_a, mean_a, variance_a:
+        Statistics of the first block (``size_a >= 0``; the mean/variance
+        of an empty block are ignored).
+    size_b, mean_b, variance_b:
+        Statistics of the second block.
+
+    Returns
+    -------
+    (int, numpy.ndarray, numpy.ndarray)
+        Merged ``(size, mean, variance)`` with ``ddof=1`` variance
+        (zeros when the merged block has fewer than two rows).
+    """
+    size_a = int(size_a)
+    size_b = int(size_b)
+    if size_a < 0 or size_b < 0:
+        raise ValueError("block sizes must be non-negative")
+    mean_a = np.asarray(mean_a, dtype=float)
+    mean_b = np.asarray(mean_b, dtype=float)
+    variance_a = np.asarray(variance_a, dtype=float)
+    variance_b = np.asarray(variance_b, dtype=float)
+    if size_a == 0:
+        return size_b, mean_b.copy(), variance_b.copy()
+    if size_b == 0:
+        return size_a, mean_a.copy(), variance_a.copy()
+    size = size_a + size_b
+    delta = mean_b - mean_a
+    mean = mean_a + delta * (size_b / size)
+    m2 = (
+        variance_a * max(size_a - 1, 0)
+        + variance_b * max(size_b - 1, 0)
+        + delta ** 2 * (size_a * size_b / size)
+    )
+    if size > 1:
+        variance = m2 / (size - 1)
+    else:
+        variance = np.zeros_like(mean)
+    return size, mean, variance
 
 
 class ClusterStatsCache:

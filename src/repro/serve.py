@@ -1,0 +1,15 @@
+"""``python -m repro.serve`` — console front end of the serving subsystem.
+
+A thin runnable shim around :func:`repro.serving.cli.main`; the same
+entry point is installed as the ``repro-serve`` script (see
+``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

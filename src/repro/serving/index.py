@@ -1,0 +1,487 @@
+"""High-throughput out-of-sample inference over a persisted clustering.
+
+:class:`ProjectedClusterIndex` is the serving subsystem's query engine:
+it takes a :class:`~repro.serving.artifact.ModelArtifact` (or a live
+fitted estimator's artifact) and assigns *batches* of unseen points to
+the learned projected clusters.
+
+The assignment rule is the same one SSPC's own assignment step uses
+(Listing 2, step 3): the score gain of placing ``x`` into cluster ``C_i``
+with center ``c`` and selected dimensions ``V_i`` is ::
+
+    gain_i(x) = sum_{v_j in V_i} (1 - (x_j - c_j)^2 / s_hat^2_ij)
+
+where the thresholds ``s_hat^2_ij`` come from the artifact's stored
+scheme and global variances, evaluated at the cluster's current size.  A
+point joins the cluster with the largest positive gain; a point whose
+best gain is not positive lands on the outlier list (label ``-1``) —
+exactly the paper's outlier gate, now applied to traffic the model never
+saw during fitting.
+
+The batch kernel reuses the PR-1 fused-assignment shape: clusters are
+grouped by selected-dimension count and each group is one broadcasted
+``(n, g, c)`` gather-plus-reduction, so scoring cost is one fused numpy
+pass instead of ``k`` Python-level loops — and, because every per-cluster
+reduction runs over the same elements in the same order as the
+single-point kernel, the batch path is **bit-identical** to scoring each
+point on its own.
+
+:meth:`ProjectedClusterIndex.partial_update` folds accepted points into
+the cached per-cluster statistics without refitting: sizes / means /
+variances merge exactly via
+:func:`~repro.core.stats_cache.merge_mean_variance`, and — when the
+artifact carries member projections — the per-cluster medians on the
+selected dimensions are maintained *exactly* by appending the new rows'
+projections (cheap, because projected clusters are low-dimensional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import OUTLIER_LABEL
+from repro.core.objective import grouped_assignment_gains
+from repro.core.stats_cache import merge_mean_variance
+from repro.core.thresholds import SelectionThreshold
+from repro.serving.artifact import ModelArtifact, load_artifact
+from repro.utils.validation import check_array_2d
+
+__all__ = ["ProjectedClusterIndex", "ServingClusterStats"]
+
+_CENTER_MODES = ("median", "representative", "mean")
+
+
+@dataclass
+class ServingClusterStats:
+    """Read-only snapshot of one cluster's serving-side statistics.
+
+    ``mean`` and ``variance`` are full ``d``-vectors, kept exact across
+    :meth:`ProjectedClusterIndex.partial_update` by streaming merges.
+    ``median_selected`` is aligned with ``dimensions`` — the serving
+    layer maintains medians only on the selected dimensions (the only
+    ones that influence assignment), and only exactly when the artifact
+    carries member projections.
+    """
+
+    size: int
+    dimensions: np.ndarray
+    mean: np.ndarray
+    variance: np.ndarray
+    median_selected: np.ndarray
+
+
+class _ServingCluster:
+    """Mutable per-cluster state held by the index."""
+
+    __slots__ = (
+        "dimensions",
+        "size",
+        "mean",
+        "variance",
+        "median_selected",
+        "center_selected",
+        "projections",
+        "score",
+    )
+
+    def __init__(
+        self,
+        *,
+        dimensions: np.ndarray,
+        size: int,
+        mean: np.ndarray,
+        variance: np.ndarray,
+        median_selected: np.ndarray,
+        center_selected: np.ndarray,
+        projections: Optional[np.ndarray],
+        score: float,
+    ) -> None:
+        self.dimensions = dimensions
+        self.size = size
+        self.mean = mean
+        self.variance = variance
+        self.median_selected = median_selected
+        self.center_selected = center_selected
+        self.projections = projections
+        self.score = score
+
+
+class ProjectedClusterIndex:
+    """Batch assignment of unseen points to learned projected clusters.
+
+    Parameters
+    ----------
+    artifact:
+        The persisted model to serve.
+    center:
+        Which per-cluster center the gains are measured against:
+        ``"median"`` (default — the robust center the objective is built
+        on), ``"representative"`` (the exact vector the final training
+        assignment used) or ``"mean"``.
+    allow_outliers:
+        Whether points may land on the outlier list.  ``None`` (default)
+        follows the fitted model's own contract
+        (``artifact.parameters["allow_outliers"]``, ``True`` when
+        unrecorded): a model fitted with ``allow_outliers=False``
+        force-assigned every training object, so serving force-assigns
+        too (each point goes to its best servable cluster even when the
+        gain is not positive), matching ``SSPC._force_assign``.
+
+    Notes
+    -----
+    Empty clusters (no training members) and clusters with an empty
+    dimension set can never win an assignment — their gain column is
+    pinned to ``-inf``, matching the training-time assignment step.
+    Even under force-assignment, a point is left an outlier when *no*
+    cluster is servable.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        *,
+        center: str = "median",
+        allow_outliers: Optional[bool] = None,
+    ) -> None:
+        if center not in _CENTER_MODES:
+            raise ValueError("center must be one of %s" % (_CENTER_MODES,))
+        self.center = center
+        if allow_outliers is None:
+            allow_outliers = bool(artifact.parameters.get("allow_outliers", True))
+        self.allow_outliers = bool(allow_outliers)
+        self.n_dimensions = int(artifact.n_dimensions)
+        self.algorithm = artifact.algorithm
+        self._threshold: SelectionThreshold = artifact.threshold()
+        # Artifacts written back after partial_update record the absorbed
+        # per-cluster sizes in metadata (the member index list can only
+        # name training objects); honour them so size-dependent
+        # thresholds survive a save/load cycle.
+        serving_sizes = artifact.metadata.get("serving_sizes")
+        if not (
+            isinstance(serving_sizes, (list, tuple))
+            and len(serving_sizes) == len(artifact.clusters)
+        ):
+            serving_sizes = [cluster.size for cluster in artifact.clusters]
+        self._clusters: List[_ServingCluster] = []
+        for cluster, serving_size in zip(artifact.clusters, serving_sizes):
+            dims = cluster.dimensions.copy()
+            median_selected = cluster.median[dims].copy()
+            if center == "median":
+                center_selected = median_selected.copy()
+            elif center == "mean":
+                center_selected = cluster.mean[dims].copy()
+            else:
+                center_selected = cluster.representative[dims].copy()
+            projections = None
+            if cluster.member_projections is not None:
+                projections = np.asarray(cluster.member_projections, dtype=float).copy()
+            self._clusters.append(
+                _ServingCluster(
+                    dimensions=dims,
+                    size=int(serving_size),
+                    mean=cluster.mean.copy(),
+                    variance=cluster.variance.copy(),
+                    median_selected=median_selected,
+                    center_selected=center_selected,
+                    projections=projections,
+                    score=float(cluster.score),
+                )
+            )
+        self.n_updates = 0
+        self.n_points_absorbed = 0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_path(cls, path, *, center: str = "median") -> "ProjectedClusterIndex":
+        """Load an artifact directory and build an index over it."""
+        return cls(load_artifact(path), center=center)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters served."""
+        return len(self._clusters)
+
+    def cluster_statistics(self, cluster_index: int) -> ServingClusterStats:
+        """Current statistics snapshot of one cluster."""
+        cluster = self._clusters[cluster_index]
+        return ServingClusterStats(
+            size=int(cluster.size),
+            dimensions=cluster.dimensions.copy(),
+            mean=cluster.mean.copy(),
+            variance=cluster.variance.copy(),
+            median_selected=cluster.median_selected.copy(),
+        )
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Current per-cluster sizes (training members + absorbed points)."""
+        return np.asarray([cluster.size for cluster in self._clusters], dtype=int)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def _cluster_thresholds(self, cluster: _ServingCluster) -> np.ndarray:
+        """Thresholds on the cluster's selected dimensions at its current size."""
+        return self._threshold.values(max(cluster.size, 2))[cluster.dimensions]
+
+    def _servable(self, cluster: _ServingCluster) -> bool:
+        """Whether the cluster can win assignments at all."""
+        return cluster.size > 0 and cluster.dimensions.size > 0
+
+    def gains_matrix(self, points: np.ndarray) -> np.ndarray:
+        """The ``(n, k)`` assignment-gain matrix for a batch of points.
+
+        Delegates to the same
+        :func:`~repro.core.objective.grouped_assignment_gains` kernel the
+        training hot loop uses (one broadcasted gather-and-reduce per
+        distinct selected-dimension count); unservable clusters are
+        passed an empty dimension set and get a ``-inf`` column.
+        Bit-identical to stacking :meth:`gains_single` over the rows.
+        """
+        points = self._check_points(points)
+        empty = np.empty(0, dtype=int)
+        dimensions = [
+            cluster.dimensions if self._servable(cluster) else empty
+            for cluster in self._clusters
+        ]
+        centers = [cluster.center_selected for cluster in self._clusters]
+        thresholds = [self._cluster_thresholds(cluster) for cluster in self._clusters]
+        return grouped_assignment_gains(points, dimensions, centers, thresholds)
+
+    def gains_single(self, point: np.ndarray) -> np.ndarray:
+        """Length-``k`` gain vector for one point (reference scalar path).
+
+        Exists for the batch/single equivalence contract (and its tests):
+        the elementwise operations and the reduction order match the
+        grouped batch kernel exactly, so
+        ``gains_matrix(X)[i] == gains_single(X[i])`` bit for bit.
+        """
+        point = np.asarray(point, dtype=float).ravel()
+        if point.shape[0] != self.n_dimensions:
+            raise ValueError(
+                "point has %d dimensions, expected %d" % (point.shape[0], self.n_dimensions)
+            )
+        gains = np.full(self.n_clusters, -np.inf)
+        for index, cluster in enumerate(self._clusters):
+            if not self._servable(cluster):
+                continue
+            deltas = point[cluster.dimensions] - cluster.center_selected
+            gains[index] = (1.0 - (deltas ** 2) / self._cluster_thresholds(cluster)).sum()
+        return gains
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Hard labels for a batch of points (``-1`` marks outliers).
+
+        Deterministic: a pure function of the artifact state and the
+        input batch.
+        """
+        gains = self.gains_matrix(points)
+        return self._labels_from_gains(gains)
+
+    def predict_one(self, point: np.ndarray) -> int:
+        """Hard label for a single point via the scalar reference path."""
+        gains = self.gains_single(point)
+        best = int(np.argmax(gains))
+        if gains[best] > 0.0 or (not self.allow_outliers and np.isfinite(gains[best])):
+            return best
+        return OUTLIER_LABEL
+
+    def top_assignments(
+        self, points: np.ndarray, top_m: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Soft assignments: each point's ``top_m`` clusters by gain.
+
+        Returns ``(labels, clusters, gains)`` where ``labels`` is the
+        hard outlier-gated label vector, and ``clusters`` / ``gains`` are
+        ``(n, top_m)`` arrays of cluster indices and their score gains in
+        decreasing-gain order (``-1`` / ``-inf`` padding when fewer than
+        ``top_m`` clusters are servable).
+        """
+        if top_m < 1:
+            raise ValueError("top_m must be at least 1")
+        gains = self.gains_matrix(points)
+        n = gains.shape[0]
+        m = min(int(top_m), self.n_clusters)
+        order = np.argsort(-gains, axis=1, kind="stable")[:, :m]
+        top_gains = np.take_along_axis(gains, order, axis=1)
+        top_clusters = order.astype(int)
+        top_clusters[~np.isfinite(top_gains)] = OUTLIER_LABEL
+        if m < top_m:
+            pad = top_m - m
+            top_clusters = np.hstack(
+                [top_clusters, np.full((n, pad), OUTLIER_LABEL, dtype=int)]
+            )
+            top_gains = np.hstack([top_gains, np.full((n, pad), -np.inf)])
+        return self._labels_from_gains(gains), top_clusters, top_gains
+
+    def outliers(self, points: np.ndarray) -> np.ndarray:
+        """Row indices of ``points`` that fail the outlier gate."""
+        return np.flatnonzero(self.predict(points) == OUTLIER_LABEL)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def partial_update(
+        self,
+        points: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fold accepted points into the cached statistics without refitting.
+
+        Points are first assigned (unless ``labels`` is given); rows whose
+        label is ``-1`` are ignored.  For each cluster that accepted
+        points:
+
+        * ``size`` / ``mean`` / ``variance`` are merged exactly via
+          :func:`~repro.core.stats_cache.merge_mean_variance` — identical
+          (up to float rounding) to a from-scratch pass over the union of
+          old members and new points;
+        * when the artifact carries member projections, the projection
+          buffer is extended and the median over the selected dimensions
+          is recomputed from it — *exactly* the median of the union.  With
+          ``center="median"`` the assignment center follows it.  Without
+          projections the median (and a median center) stay frozen at
+          their training values, while sizes still advance the
+          size-dependent thresholds.
+
+        Returns the label vector that was applied.
+        """
+        points = self._check_points(points)
+        if labels is None:
+            labels = self.predict(points)
+        else:
+            labels = np.asarray(labels, dtype=int).ravel()
+            if labels.shape[0] != points.shape[0]:
+                raise ValueError(
+                    "labels has length %d but points has %d rows"
+                    % (labels.shape[0], points.shape[0])
+                )
+            if labels.size and labels.max() >= self.n_clusters:
+                raise ValueError("labels reference clusters outside the model")
+            if labels.size and labels.min() < OUTLIER_LABEL:
+                raise ValueError(
+                    "labels may not contain values below %d (the outlier sentinel)"
+                    % OUTLIER_LABEL
+                )
+
+        absorbed = 0
+        for index, cluster in enumerate(self._clusters):
+            rows = points[labels == index]
+            if rows.shape[0] == 0:
+                continue
+            batch_mean = rows.mean(axis=0)
+            if rows.shape[0] > 1:
+                batch_variance = rows.var(axis=0, ddof=1)
+            else:
+                batch_variance = np.zeros(self.n_dimensions)
+            cluster.size, cluster.mean, cluster.variance = merge_mean_variance(
+                cluster.size,
+                cluster.mean,
+                cluster.variance,
+                rows.shape[0],
+                batch_mean,
+                batch_variance,
+            )
+            if cluster.projections is not None:
+                cluster.projections = np.concatenate(
+                    [cluster.projections, rows[:, cluster.dimensions]], axis=0
+                )
+                cluster.median_selected = np.median(cluster.projections, axis=0)
+                if self.center == "median":
+                    cluster.center_selected = cluster.median_selected.copy()
+            if self.center == "mean":
+                cluster.center_selected = cluster.mean[cluster.dimensions].copy()
+            absorbed += rows.shape[0]
+        self.n_updates += 1
+        self.n_points_absorbed += absorbed
+        return labels
+
+    def fold_into(self, artifact: ModelArtifact) -> ModelArtifact:
+        """Write the index's updated statistics back into ``artifact``.
+
+        The public persistence path after :meth:`partial_update`: sizes,
+        means and variances are replaced by the merged values, the stored
+        full-``d`` median vector is refreshed on the selected dimensions
+        (the only entries serving reads) and the projection buffers
+        replace the stored ones.  Training member indices and labels are
+        left as fitted — absorbed points are out-of-sample and have no
+        training index — so the absorbed per-cluster sizes are recorded
+        as ``metadata["serving_sizes"]``, which a future index built from
+        the artifact resumes from.  Returns ``artifact`` (mutated in
+        place) so ``index.fold_into(artifact).save(path)`` chains.
+        """
+        if len(artifact.clusters) != self.n_clusters:
+            raise ValueError(
+                "artifact has %d clusters but the index serves %d"
+                % (len(artifact.clusters), self.n_clusters)
+            )
+        if artifact.n_dimensions != self.n_dimensions:
+            raise ValueError(
+                "artifact has %d dimensions but the index serves %d"
+                % (artifact.n_dimensions, self.n_dimensions)
+            )
+        for position, cluster in enumerate(artifact.clusters):
+            if not np.array_equal(cluster.dimensions, self._clusters[position].dimensions):
+                raise ValueError(
+                    "artifact cluster %d selects different dimensions than the index "
+                    "serves — refusing to fold statistics into a different model"
+                    % position
+                )
+        for position, cluster in enumerate(artifact.clusters):
+            state = self._clusters[position]
+            cluster.mean = state.mean.copy()
+            cluster.variance = state.variance.copy()
+            cluster.median = cluster.median.copy()
+            cluster.median[state.dimensions] = state.median_selected
+            if state.projections is not None:
+                cluster.member_projections = state.projections.copy()
+        artifact.metadata["absorbed_points"] = (
+            int(artifact.metadata.get("absorbed_points", 0)) + int(self.n_points_absorbed)
+        )
+        artifact.metadata["serving_sizes"] = [int(size) for size in self.cluster_sizes()]
+        return artifact
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _check_points(self, points: np.ndarray) -> np.ndarray:
+        points = check_array_2d(points, name="points", min_rows=1)
+        if points.shape[1] != self.n_dimensions:
+            raise ValueError(
+                "points have %d dimensions, the model expects %d"
+                % (points.shape[1], self.n_dimensions)
+            )
+        return points
+
+    def _labels_from_gains(self, gains: np.ndarray) -> np.ndarray:
+        n = gains.shape[0]
+        labels = np.full(n, OUTLIER_LABEL, dtype=int)
+        if gains.shape[1] == 0:
+            return labels
+        best_cluster = np.argmax(gains, axis=1)
+        best_gain = gains[np.arange(n), best_cluster]
+        if self.allow_outliers:
+            accepted = best_gain > 0.0
+        else:
+            # Force-assignment (the fitted model disallowed outliers):
+            # every point goes to its best servable cluster, mirroring
+            # SSPC._force_assign; only points with no servable cluster
+            # at all stay on the outlier list.
+            accepted = np.isfinite(best_gain)
+        labels[accepted] = best_cluster[accepted]
+        return labels
+
+    def __repr__(self) -> str:
+        return "ProjectedClusterIndex(k=%d, d=%d, center=%r, absorbed=%d)" % (
+            self.n_clusters,
+            self.n_dimensions,
+            self.center,
+            self.n_points_absorbed,
+        )

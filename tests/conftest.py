@@ -64,6 +64,14 @@ def outlier_dataset():
     )
 
 
+@pytest.fixture(scope="session")
+def fitted_sspc(small_dataset):
+    """An SSPC estimator fitted on the small dataset (for serving tests)."""
+    from repro.core.sspc import SSPC
+
+    return SSPC(n_clusters=3, m=0.5, random_state=0).fit(small_dataset.data)
+
+
 @pytest.fixture()
 def objective_small(small_dataset):
     """An ObjectiveFunction fitted on the small dataset with m = 0.5."""

@@ -105,3 +105,83 @@ class TestClusteringResult:
 
     def test_outlier_label_constant(self):
         assert OUTLIER_LABEL == -1
+
+
+class TestFromLabelsSerializationRoundTrip:
+    """from_labels ∘ labels must be exact — the artifact format relies on it."""
+
+    def _rich_result(self):
+        rng = np.random.default_rng(17)
+        clusters = [
+            ProjectedCluster(
+                members=[0, 2, 5],
+                dimensions=[1, 3],
+                score=2.5,
+                representative=rng.normal(size=6),
+            ),
+            ProjectedCluster(members=[], dimensions=[0], score=float("nan")),
+            ProjectedCluster(
+                members=[1, 7],
+                dimensions=[2, 4, 5],
+                score=-0.75,
+                representative=rng.normal(size=6),
+            ),
+        ]
+        return ClusteringResult(
+            clusters=clusters,
+            n_objects=9,
+            n_dimensions=6,
+            objective=0.125,
+            n_iterations=11,
+            algorithm="SSPC",
+            parameters={"n_clusters": 3, "m": 0.5},
+        )
+
+    def _round_trip(self, result):
+        return ClusteringResult.from_labels(
+            result.labels(),
+            result.n_dimensions,
+            dimensions=[c.dimensions for c in result.clusters],
+            scores=[c.score for c in result.clusters],
+            representatives=[c.representative for c in result.clusters],
+            objective=result.objective,
+            n_iterations=result.n_iterations,
+            algorithm=result.algorithm,
+            parameters=result.parameters,
+            n_clusters=result.n_clusters,
+        )
+
+    def test_round_trip_with_outliers_present(self):
+        result = self._rich_result()
+        # Objects 3, 4, 6, 8 are on the outlier list.
+        np.testing.assert_array_equal(result.outliers, [3, 4, 6, 8])
+        rebuilt = self._round_trip(result)
+        np.testing.assert_array_equal(rebuilt.labels(), result.labels())
+        np.testing.assert_array_equal(rebuilt.outliers, result.outliers)
+        assert rebuilt.n_outliers == result.n_outliers
+
+    def test_round_trip_preserves_clusters(self):
+        result = self._rich_result()
+        rebuilt = self._round_trip(result)
+        assert rebuilt.n_clusters == result.n_clusters
+        for a, b in zip(rebuilt.clusters, result.clusters):
+            np.testing.assert_array_equal(a.members, b.members)
+            np.testing.assert_array_equal(a.dimensions, b.dimensions)
+            assert a.score == b.score or (np.isnan(a.score) and np.isnan(b.score))
+            if b.representative is None:
+                assert a.representative is None
+            else:
+                np.testing.assert_array_equal(a.representative, b.representative)
+
+    def test_round_trip_preserves_metadata(self):
+        result = self._rich_result()
+        rebuilt = self._round_trip(result)
+        assert rebuilt.objective == result.objective
+        assert rebuilt.n_iterations == result.n_iterations
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.parameters == result.parameters
+
+    def test_double_round_trip_is_stable(self):
+        once = self._round_trip(self._rich_result())
+        twice = self._round_trip(once)
+        np.testing.assert_array_equal(twice.labels(), once.labels())

@@ -1,0 +1,171 @@
+"""End-to-end tests of the ``repro-serve`` command line."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import save_csv_dataset
+from repro.serving.artifact import load_artifact
+from repro.serving.cli import main
+from repro.serving.index import ProjectedClusterIndex
+
+
+@pytest.fixture()
+def artifact_dir(fitted_sspc, tmp_path):
+    path = tmp_path / "model"
+    fitted_sspc.save(path)
+    return path
+
+
+@pytest.fixture()
+def points_csv(small_dataset, rng, tmp_path):
+    points = small_dataset.data[rng.choice(small_dataset.data.shape[0], size=15)]
+    points = points + rng.normal(scale=0.01, size=points.shape)
+    path = tmp_path / "points.csv"
+    save_csv_dataset(path, points)
+    # Return the CSV-quantized values (the CSV writer rounds to 6
+    # significant digits) so expectations match what the CLI reads.
+    from repro.data.loaders import load_csv_dataset
+
+    quantized, _ = load_csv_dataset(path)
+    return path, quantized
+
+
+def _read_labels(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    return np.asarray([int(row["label"]) for row in rows])
+
+
+class TestFit:
+    def test_fit_synthetic_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "m"
+        code = main([
+            "fit", "--synthetic", "120x20x2", "--artifact", str(artifact),
+            "--random-state", "0", "--max-iterations", "5",
+        ])
+        assert code == 0
+        loaded = load_artifact(artifact)
+        assert loaded.n_objects == 120
+        assert loaded.n_dimensions == 20
+        assert loaded.n_clusters == 2
+        assert "artifact written" in capsys.readouterr().out
+
+    def test_fit_from_csv(self, small_dataset, tmp_path):
+        train = tmp_path / "train.csv"
+        save_csv_dataset(train, small_dataset.data)
+        artifact = tmp_path / "m"
+        code = main([
+            "fit", "--input", str(train), "--artifact", str(artifact),
+            "--n-clusters", "3", "--max-iterations", "5", "--random-state", "0",
+        ])
+        assert code == 0
+        assert load_artifact(artifact).n_clusters == 3
+
+    def test_fit_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["fit", "--artifact", str(tmp_path / "m")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_labels_match_library_predictions(
+        self, artifact_dir, points_csv, tmp_path, capsys
+    ):
+        points_path, points = points_csv
+        out = tmp_path / "out.csv"
+        code = main([
+            "predict", "--artifact", str(artifact_dir),
+            "--input", str(points_path), "--output", str(out),
+        ])
+        assert code == 0
+        expected = ProjectedClusterIndex.from_path(artifact_dir).predict(
+            np.loadtxt(points_path, delimiter=",", skiprows=1)
+        )
+        np.testing.assert_array_equal(_read_labels(out), expected)
+
+    def test_top_m_columns(self, artifact_dir, points_csv, tmp_path):
+        points_path, _ = points_csv
+        out = tmp_path / "out.csv"
+        assert main([
+            "predict", "--artifact", str(artifact_dir), "--input", str(points_path),
+            "--output", str(out), "--top-m", "2",
+        ]) == 0
+        with open(out, newline="") as handle:
+            header = next(csv.reader(handle))
+        assert header == ["index", "label", "cluster_0", "gain_0", "cluster_1", "gain_1"]
+
+    def test_update_save_back_persists_statistics(
+        self, artifact_dir, points_csv, tmp_path
+    ):
+        points_path, points = points_csv
+        before = load_artifact(artifact_dir)
+        expected = ProjectedClusterIndex(before)
+        labels = expected.partial_update(points)
+        assert np.count_nonzero(labels >= 0) > 0  # the batch must be absorbed
+
+        out = tmp_path / "out.csv"
+        assert main([
+            "predict", "--artifact", str(artifact_dir), "--input", str(points_path),
+            "--output", str(out), "--update", "--save-back",
+        ]) == 0
+        after = load_artifact(artifact_dir)
+        assert after.metadata["absorbed_points"] == expected.n_points_absorbed
+        assert after.metadata["serving_sizes"] == [
+            int(size) for size in expected.cluster_sizes()
+        ]
+        for i, cluster in enumerate(after.clusters):
+            stats = expected.cluster_statistics(i)
+            np.testing.assert_array_equal(cluster.mean, stats.mean)
+            np.testing.assert_array_equal(cluster.variance, stats.variance)
+            np.testing.assert_array_equal(
+                cluster.median[stats.dimensions], stats.median_selected
+            )
+        # A reloaded index resumes from the absorbed sizes (thresholds and
+        # further gains match the in-memory updated index exactly).
+        reloaded = ProjectedClusterIndex(after)
+        np.testing.assert_array_equal(reloaded.cluster_sizes(), expected.cluster_sizes())
+        assert np.array_equal(
+            reloaded.gains_matrix(points), expected.gains_matrix(points)
+        )
+
+    def test_save_back_without_update_is_refused(
+        self, artifact_dir, points_csv, capsys
+    ):
+        points_path, _ = points_csv
+        code = main([
+            "predict", "--artifact", str(artifact_dir),
+            "--input", str(points_path), "--save-back",
+        ])
+        assert code == 2
+        assert "--save-back requires --update" in capsys.readouterr().err
+
+    def test_missing_input_reports_error(self, artifact_dir, tmp_path, capsys):
+        code = main([
+            "predict", "--artifact", str(artifact_dir),
+            "--input", str(tmp_path / "absent.csv"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_json_output(self, artifact_dir, fitted_sspc, capsys):
+        assert main(["inspect", "--artifact", str(artifact_dir), "--json"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["n_clusters"] == fitted_sspc.n_clusters
+        assert description["algorithm"] == "SSPC"
+        assert description["schema_version"] == 1
+
+    def test_human_output(self, artifact_dir, capsys):
+        assert main(["inspect", "--artifact", str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "SSPC artifact" in out
+        assert "threshold" in out
+
+    def test_missing_artifact_reports_error(self, tmp_path, capsys):
+        assert main(["inspect", "--artifact", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err

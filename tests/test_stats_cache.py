@@ -187,3 +187,74 @@ def test_objective_function_accepts_equal_valued_cache(data):
     threshold = VarianceRatioThreshold(m=0.5)
     objective = ObjectiveFunction(data, threshold, stats_cache=ClusterStatsCache(data.copy()))
     assert objective.cluster_statistics(np.arange(4)).size == 4
+
+
+# ---------------------------------------------------------------------- #
+# merge_mean_variance (the serving-side partial_update primitive)
+# ---------------------------------------------------------------------- #
+class TestMergeMeanVariance:
+    def _blocks(self, sizes, d=7, seed=3):
+        rng = np.random.default_rng(seed)
+        return [rng.normal(size=(size, d)) for size in sizes]
+
+    @staticmethod
+    def _stats(block):
+        if block.shape[0] == 0:
+            return 0, np.zeros(block.shape[1]), np.zeros(block.shape[1])
+        variance = block.var(axis=0, ddof=1) if block.shape[0] > 1 else np.zeros(block.shape[1])
+        return block.shape[0], block.mean(axis=0), variance
+
+    def test_matches_from_scratch_pass(self):
+        from repro.core.stats_cache import merge_mean_variance
+
+        a, b = self._blocks([23, 11])
+        size, mean, variance = merge_mean_variance(*self._stats(a), *self._stats(b))
+        union = np.vstack([a, b])
+        assert size == union.shape[0]
+        np.testing.assert_allclose(mean, union.mean(axis=0), rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(variance, union.var(axis=0, ddof=1), rtol=1e-11, atol=1e-14)
+
+    def test_singleton_blocks(self):
+        from repro.core.stats_cache import merge_mean_variance
+
+        a, b = self._blocks([1, 1], seed=5)
+        size, mean, variance = merge_mean_variance(*self._stats(a), *self._stats(b))
+        union = np.vstack([a, b])
+        assert size == 2
+        np.testing.assert_allclose(mean, union.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(variance, union.var(axis=0, ddof=1), rtol=1e-11, atol=1e-14)
+
+    def test_empty_block_is_identity(self):
+        from repro.core.stats_cache import merge_mean_variance
+
+        (a,) = self._blocks([9], seed=8)
+        size_a, mean_a, var_a = self._stats(a)
+        empty = np.zeros((0, a.shape[1]))
+        for args in (
+            self._stats(empty) + (size_a, mean_a, var_a),
+            (size_a, mean_a, var_a) + self._stats(empty),
+        ):
+            size, mean, variance = merge_mean_variance(*args)
+            assert size == size_a
+            np.testing.assert_array_equal(mean, mean_a)
+            np.testing.assert_array_equal(variance, var_a)
+
+    def test_chained_merges_match_one_pass(self):
+        from repro.core.stats_cache import merge_mean_variance
+
+        blocks = self._blocks([5, 1, 17, 3], seed=11)
+        size, mean, variance = self._stats(blocks[0])
+        for block in blocks[1:]:
+            size, mean, variance = merge_mean_variance(
+                size, mean, variance, *self._stats(block)
+            )
+        union = np.vstack(blocks)
+        assert size == union.shape[0]
+        np.testing.assert_allclose(mean, union.mean(axis=0), rtol=1e-11, atol=1e-14)
+        np.testing.assert_allclose(variance, union.var(axis=0, ddof=1), rtol=1e-10, atol=1e-14)
+
+    def test_negative_sizes_rejected(self):
+        from repro.core.stats_cache import merge_mean_variance
+
+        with pytest.raises(ValueError):
+            merge_mean_variance(-1, np.zeros(2), np.zeros(2), 1, np.zeros(2), np.zeros(2))
