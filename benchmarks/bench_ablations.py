@@ -2,66 +2,29 @@
 
 Not part of the paper's evaluation; these isolate the design decisions
 the paper argues for — median-based representatives, grid-based
-seed-group initialisation and the two threshold schemes.
+seed-group initialisation and the two threshold schemes.  Thin wrapper
+over the registered ``ablations`` scenario (one task per ablation).
 """
 
 from __future__ import annotations
 
-from repro.experiments.ablations import (
-    format_ablation_table,
-    run_initialisation_ablation,
-    run_representative_ablation,
-    run_threshold_scheme_ablation,
-)
+from repro.bench import registry
+
+SCENARIO = registry.get("ablations")
 
 
-def test_ablation_representative(benchmark, paper_scale):
-    """A1: median vs mean representatives on data with outliers."""
-    kwargs = dict(random_state=20)
-    if paper_scale:
-        kwargs.update(n_objects=1000, n_dimensions=100, n_repeats=5)
-    else:
-        kwargs.update(n_objects=400, n_dimensions=60, n_repeats=2)
-    rows = benchmark.pedantic(
-        lambda: run_representative_ablation(**kwargs), iterations=1, rounds=1
-    )
-    print("\n=== Ablation A1: representative statistic (15% outliers) ===")
-    print(format_ablation_table(rows))
-    by_variant = {row.variant: row.ari for row in rows}
-    # The median variant should not lose to the mean variant by a wide margin
-    # on contaminated data (it is the robustness-motivated choice).
-    assert by_variant["median (paper)"] >= by_variant["mean (ablated)"] - 0.1
+def test_ablations(benchmark, bench_scale):
+    """A1-A3: representatives, initialisation and threshold schemes."""
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
+    print("\n=== Ablations A1-A3 (design choices) ===")
+    print(summary.table)
 
-def test_ablation_initialisation(benchmark, paper_scale):
-    """A2: seed-group initialisation vs random full-space medoids."""
-    kwargs = dict(random_state=21)
-    if paper_scale:
-        kwargs.update(n_objects=600, n_dimensions=400, l_real=8, n_repeats=5)
-    else:
-        kwargs.update(n_objects=300, n_dimensions=150, l_real=6, n_repeats=2)
-    rows = benchmark.pedantic(
-        lambda: run_initialisation_ablation(**kwargs), iterations=1, rounds=1
-    )
-    print("\n=== Ablation A2: initialisation strategy (low-dimensional clusters) ===")
-    print(format_ablation_table(rows))
-    by_variant = {row.variant: row.ari for row in rows}
-    assert by_variant["seed groups (paper)"] >= by_variant["random medoids (ablated)"]
-
-
-def test_ablation_threshold_scheme(benchmark, paper_scale):
-    """A3: m-scheme vs p-scheme under uniform and Gaussian globals."""
-    kwargs = dict(random_state=22)
-    if paper_scale:
-        kwargs.update(n_objects=1000, n_dimensions=100, n_repeats=5)
-    else:
-        kwargs.update(n_objects=400, n_dimensions=60, n_repeats=2)
-    rows = benchmark.pedantic(
-        lambda: run_threshold_scheme_ablation(**kwargs), iterations=1, rounds=1
-    )
-    print("\n=== Ablation A3: threshold schemes across global distributions ===")
-    print(format_ablation_table(rows))
-    # Both schemes work on both distributions (Figure 3's observation that the
-    # p scheme holds up even though the globals are not Gaussian).
-    for row in rows:
-        assert row.ari > 0.5
+    metrics = summary.metrics
+    # A1: the median variant should not lose to the mean variant by a wide
+    # margin on contaminated data (it is the robustness-motivated choice).
+    assert metrics["representative_margin"] >= -0.1
+    # A2: seed-group initialisation beats random full-space medoids.
+    assert metrics["initialisation_margin"] >= 0.0
+    # A3: both threshold schemes work on both global distributions.
+    assert metrics["threshold_min_ari"] > 0.5

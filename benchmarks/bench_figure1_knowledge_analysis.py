@@ -2,41 +2,30 @@
 
 Probability that at least one initialisation grid is formed by relevant
 dimensions only, as a function of the number of labeled objects, for
-several ``d_i / d`` ratios.  Uses the paper's example parameters
-(d = 3000, p = 0.01, c = 3, g = 20, variance ratio 0.15).
+several ``d_i / d`` ratios.  Thin wrapper over the registered
+``figure1_knowledge_analysis`` scenario (paper parameters: d = 3000,
+p = 0.01, c = 3, g = 20, variance ratio 0.15).
 """
 
 from __future__ import annotations
 
-from repro.experiments.knowledge_analysis import run_figure1
+from repro.bench import registry
+
+SCENARIO = registry.get("figure1_knowledge_analysis")
 
 
-def _run():
-    return run_figure1(
-        input_sizes=range(0, 21),
-        relevant_fractions=(0.01, 0.02, 0.05, 0.10),
-        n_dimensions=3000,
-        p=0.01,
-        grid_dimensions=3,
-        n_grids=20,
-        variance_ratio=0.15,
-    )
-
-
-def test_figure1_curves(benchmark):
+def test_figure1_curves(benchmark, bench_scale):
     """Regenerate the Figure 1 probability curves."""
-    result = benchmark(_run)
+    summary = benchmark(lambda: SCENARIO.run(bench_scale))
     print("\n=== Figure 1: P(at least one all-relevant grid) vs labeled objects ===")
-    print(result.as_table())
+    print(summary.table)
 
     # Shape checks mirroring the paper's observations.
-    five_percent = result.probabilities[result.relevant_fractions.index(0.05)]
-    assert five_percent[result.input_sizes.index(5)] > 0.9, (
+    metrics = summary.metrics
+    assert metrics["prob_size5_frac5"] > 0.9, (
         "with di/d = 5%, five labeled objects should give a near-certain all-relevant grid"
     )
-    one_percent = result.probabilities[result.relevant_fractions.index(0.01)]
-    assert one_percent[result.input_sizes.index(5)] < five_percent[result.input_sizes.index(5)], (
+    assert metrics["prob_size5_frac1"] < metrics["prob_size5_frac5"], (
         "labeled objects are less effective at lower di/d"
     )
-    for row in result.probabilities:
-        assert all(b >= a - 1e-9 for a, b in zip(row, row[1:])), "curves must be non-decreasing"
+    assert metrics["monotonic"] == 1.0, "curves must be non-decreasing"

@@ -2,40 +2,29 @@
 
 Probability that at least one grid uses dimensions relevant to the target
 cluster only, as a function of the number of labeled dimensions, for
-several ``d_i / d`` ratios (d = 3000, k = 5, c = 3, g = 20).
+several ``d_i / d`` ratios.  Thin wrapper over the registered
+``figure2_knowledge_analysis`` scenario (d = 3000, k = 5, c = 3, g = 20).
 """
 
 from __future__ import annotations
 
-from repro.experiments.knowledge_analysis import run_figure1, run_figure2
+from repro.bench import registry
+
+SCENARIO = registry.get("figure2_knowledge_analysis")
 
 
-def _run():
-    return run_figure2(
-        input_sizes=range(0, 21),
-        relevant_fractions=(0.01, 0.02, 0.05, 0.10),
-        n_dimensions=3000,
-        n_clusters=5,
-        grid_dimensions=3,
-        n_grids=20,
-    )
-
-
-def test_figure2_curves(benchmark):
+def test_figure2_curves(benchmark, bench_scale):
     """Regenerate the Figure 2 probability curves."""
-    result = benchmark(_run)
+    summary = benchmark(lambda: SCENARIO.run(bench_scale))
     print("\n=== Figure 2: P(at least one exclusively-relevant grid) vs labeled dimensions ===")
-    print(result.as_table())
+    print(summary.table)
 
-    one_percent = result.probabilities[result.relevant_fractions.index(0.01)]
-    ten_percent = result.probabilities[result.relevant_fractions.index(0.10)]
-    index_5 = result.input_sizes.index(5)
+    metrics = summary.metrics
     # The paper's observation: labeled dimensions are more effective when the
     # cluster dimensionality is extremely low.
-    assert one_percent[index_5] >= ten_percent[index_5]
-    assert one_percent[index_5] > 0.9
+    assert metrics["low_dim_advantage"] >= 0.0
+    assert metrics["prob_size5_frac1"] > 0.9
 
     # Complementarity with Figure 1: at di/d = 1% and small input sizes,
     # labeled dimensions beat labeled objects.
-    figure1 = run_figure1(input_sizes=[3], relevant_fractions=[0.01])
-    assert one_percent[result.input_sizes.index(3)] > figure1.probabilities[0, 0]
+    assert metrics["dims_beat_objects_at3"] == 1.0

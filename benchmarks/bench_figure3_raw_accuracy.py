@@ -2,7 +2,8 @@
 
 Best-of-repeats ARI of SSPC (m and p variants), PROCLUS (correct ``l``),
 HARP and CLARANS on datasets whose average cluster dimensionality sweeps
-from 5% to 40% of ``d``, with no input knowledge.
+from 5% to 40% of ``d``, with no input knowledge.  Thin wrapper over the
+registered ``figure3_raw_accuracy`` scenario.
 
 Reduced scale (default): n = 400, d = 100, 2 repeats.
 Paper scale (REPRO_BENCH_SCALE=paper): n = 1000, d = 100, 10 repeats.
@@ -12,46 +13,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.harness import format_series_table
-from repro.experiments.raw_accuracy import run_raw_accuracy
+from repro.bench import registry
+
+SCENARIO = registry.get("figure3_raw_accuracy")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        return run_raw_accuracy(
-            dimensionalities=(5, 10, 20, 30, 40),
-            n_objects=1000,
-            n_dimensions=100,
-            n_clusters=5,
-            n_repeats=10,
-            random_state=0,
-        )
-    return run_raw_accuracy(
-        dimensionalities=(5, 10, 20, 40),
-        n_objects=400,
-        n_dimensions=100,
-        n_clusters=5,
-        n_repeats=2,
-        random_state=0,
-    )
-
-
-def test_figure3_raw_accuracy(benchmark, paper_scale):
+def test_figure3_raw_accuracy(benchmark, bench_scale):
     """Regenerate the Figure 3 accuracy-vs-dimensionality comparison."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
     print("\n=== Figure 3: best raw ARI vs average cluster dimensionality (d = 100) ===")
-    print(format_series_table(rows, x_key="l_real"))
+    print(summary.table)
 
-    def series(prefix):
-        return {
-            row.configuration["l_real"]: row.ari
-            for row in rows
-            if row.algorithm.startswith(prefix)
-        }
+    series = summary.details["series"]
 
-    sspc_m = series("SSPC(m")
-    proclus = series("PROCLUS")
-    clarans = series("CLARANS")
+    def curve(prefix):
+        for algorithm, values in series.items():
+            if algorithm.startswith(prefix):
+                return {float(l_key): ari for l_key, ari in values.items()}
+        raise KeyError(prefix)
+
+    sspc_m = curve("SSPC(m")
+    proclus = curve("PROCLUS")
+    clarans = curve("CLARANS")
     l_values = sorted(sspc_m)
 
     # Shape 1: projected algorithms beat the non-projected reference overall.

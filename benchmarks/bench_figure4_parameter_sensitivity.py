@@ -3,64 +3,30 @@
 On the l_real = 10 dataset, sweep PROCLUS's ``l`` parameter and SSPC's
 ``m`` / ``p`` parameters.  The paper's point: PROCLUS is accurate only
 near the correct ``l`` while SSPC stays accurate across its whole
-parameter range.
+parameter range.  Thin wrapper over the registered
+``figure4_parameter_sensitivity`` scenario.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.bench import registry
 
-from repro.experiments.parameter_sensitivity import run_parameter_sensitivity
-
-
-def _run(paper_scale: bool):
-    if paper_scale:
-        return run_parameter_sensitivity(
-            n_objects=1000,
-            n_dimensions=100,
-            n_clusters=5,
-            l_real=10,
-            n_repeats=5,
-            random_state=1,
-        )
-    return run_parameter_sensitivity(
-        n_objects=400,
-        n_dimensions=100,
-        n_clusters=5,
-        l_real=10,
-        proclus_l_values=(2, 6, 10, 14, 18),
-        sspc_m_values=(0.1, 0.3, 0.5, 0.7, 0.9),
-        sspc_p_values=(0.001, 0.01, 0.1, 0.2),
-        n_repeats=2,
-        random_state=1,
-    )
+SCENARIO = registry.get("figure4_parameter_sensitivity")
 
 
-def test_figure4_parameter_sensitivity(benchmark, paper_scale):
+def test_figure4_parameter_sensitivity(benchmark, bench_scale):
     """Regenerate the Figure 4 parameter-sensitivity comparison."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Figure 4: ARI under different parameter values (l_real = 10) ===")
-    print("%-10s %-10s %8s" % ("algorithm", "value", "ARI"))
-    for row in rows:
-        print(
-            "%-10s %-10s %8.3f"
-            % (row.algorithm, str(row.configuration["value"]), row.ari)
-        )
+    print(summary.table)
 
-    sspc_m = [row.ari for row in rows if row.algorithm == "SSPC(m)"]
-    sspc_p = [row.ari for row in rows if row.algorithm == "SSPC(p)"]
-    proclus = [row.ari for row in rows if row.algorithm == "PROCLUS"]
-
+    metrics = summary.metrics
     # SSPC stays accurate across the whole parameter range.
-    assert min(sspc_m) > 0.6
-    assert min(sspc_p) > 0.6
+    assert metrics["sspc_m_min_ari"] > 0.6
+    assert metrics["sspc_p_min_ari"] > 0.6
     # SSPC's spread across parameter values is no worse than PROCLUS's spread
     # across l values (robustness claim).
-    assert (max(sspc_m) - min(sspc_m)) <= (max(proclus) - min(proclus)) + 0.1
+    assert metrics["sspc_m_spread"] <= metrics["proclus_spread"] + 0.1
     # PROCLUS peaks near the true l value.
-    proclus_by_l = {
-        row.configuration["value"]: row.ari for row in rows if row.algorithm == "PROCLUS"
-    }
-    best_l = max(proclus_by_l, key=proclus_by_l.get)
-    assert abs(best_l - 10) <= 6
+    assert abs(metrics["proclus_best_l"] - 10) <= 6

@@ -3,7 +3,8 @@
 Coverage is fixed at 1.0 and the number of labeled items per cluster is
 swept, for labeled objects only, labeled dimensions only, and both.  The
 workload mimics a gene-expression matrix whose clusters use only 1% of
-the dimensions.
+the dimensions.  Thin wrapper over the registered ``figure5_input_size``
+scenario.
 
 Reduced scale (default): n = 150, d = 800, l_real = 8 (1% of d),
 3 knowledge draws per point.
@@ -12,62 +13,31 @@ Paper scale: n = 150, d = 3000, l_real = 30, 10 knowledge draws.
 
 from __future__ import annotations
 
-from repro.data.generator import make_projected_clusters
-from repro.experiments.harness import format_series_table
-from repro.experiments.knowledge_input import run_input_size_experiment
+from repro.bench import registry
+
+SCENARIO = registry.get("figure5_input_size")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        dataset = make_projected_clusters(
-            n_objects=150, n_dimensions=3000, n_clusters=5,
-            avg_cluster_dimensionality=30, random_state=10,
-        )
-        return run_input_size_experiment(
-            input_sizes=(0, 2, 3, 4, 5, 6, 7, 8),
-            dataset=dataset,
-            n_knowledge_draws=10,
-            random_state=10,
-        )
-    dataset = make_projected_clusters(
-        n_objects=150, n_dimensions=800, n_clusters=5,
-        avg_cluster_dimensionality=8, random_state=10,
-    )
-    return run_input_size_experiment(
-        input_sizes=(0, 2, 4, 6),
-        dataset=dataset,
-        n_knowledge_draws=3,
-        random_state=10,
-    )
-
-
-def test_figure5_input_size(benchmark, paper_scale):
+def test_figure5_input_size(benchmark, bench_scale):
     """Regenerate the Figure 5 accuracy-vs-input-size curves."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Figure 5: median ARI vs input size (coverage = 1, 1%-dimensional clusters) ===")
-    for category in ("objects", "dimensions", "both"):
-        subset = [row for row in rows if row.configuration["category"] == category]
-        print("-- category: %s" % category)
-        print(format_series_table(subset, x_key="input_size"))
+    print(summary.table)
 
-    def ari(category, size):
-        return [
-            row.ari
-            for row in rows
-            if row.configuration["category"] == category and row.configuration["input_size"] == size
-        ][0]
-
-    sizes = sorted({row.configuration["input_size"] for row in rows})
-    raw = ari("both", 0)
+    series = {
+        category: {float(size): ari for size, ari in curve.items()}
+        for category, curve in summary.details["series"].items()
+    }
+    sizes = sorted(next(iter(series.values())))
     largest = sizes[-1]
-    # Knowledge improves accuracy markedly over the raw run for every category.
+
+    # Knowledge improves accuracy markedly over each category's raw run.
     for category in ("objects", "dimensions", "both"):
-        assert ari(category, largest) > raw + 0.1
+        assert series[category][largest] > series[category][0] + 0.1
     # Labeled dimensions are especially effective at this extremely low
     # dimensionality (the paper's observation about input-kind complementarity).
     mid = sizes[1]
-    assert ari("dimensions", mid) >= ari("objects", mid) - 0.1
+    assert series["dimensions"][mid] >= series["objects"][mid] - 0.1
     # With a healthy amount of knowledge the clustering is close to perfect.
-    assert ari("dimensions", largest) > 0.7
-    assert ari("both", largest) > 0.7
+    assert series["dimensions"][largest] > 0.7

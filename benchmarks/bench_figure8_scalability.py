@@ -4,60 +4,31 @@ Total execution time of repeated runs of SSPC and PROCLUS with an
 increasing number of objects (8a) and dimensions (8b).  The reproduced
 claims are the *shapes*: close-to-linear growth along both axes and SSPC
 speed comparable to PROCLUS (absolute seconds are hardware dependent).
+Thin wrapper over the registered ``figure8_scalability`` scenario.
 """
 
 from __future__ import annotations
 
-from repro.experiments.scalability import (
-    format_scalability_table,
-    linear_fit_quality,
-    run_scalability,
-)
+from repro.bench import registry
+
+SCENARIO = registry.get("figure8_scalability")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        return run_scalability(
-            object_counts=(1000, 2000, 4000, 8000),
-            dimension_counts=(100, 200, 400, 800),
-            base_objects=1000,
-            base_dimensions=100,
-            n_repeats=10,
-            random_state=13,
-        )
-    return run_scalability(
-        object_counts=(200, 400, 800),
-        dimension_counts=(50, 100, 200),
-        base_objects=300,
-        base_dimensions=50,
-        l_real=5,
-        n_repeats=2,
-        random_state=13,
-    )
-
-
-def test_figure8_scalability(benchmark, paper_scale):
+def test_figure8_scalability(benchmark, bench_scale):
     """Regenerate the Figure 8 runtime scaling curves."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Figure 8: total runtime of repeated runs (SSPC vs PROCLUS) ===")
-    print(format_scalability_table(rows))
+    print(summary.table)
 
-    for axis in ("n_objects", "n_dimensions"):
-        sspc_fit = linear_fit_quality(rows, "SSPC", axis)
+    metrics = summary.metrics
+    for axis in ("objects", "dimensions"):
         # Runtime grows with size and the growth is close to linear.  Wall
         # clock measurements on a shared machine are noisy, so the linearity
         # requirement is deliberately tolerant; the paper-scale run gives a
         # much cleaner fit.
-        assert sspc_fit["slope"] > 0
-        assert sspc_fit["r_squared"] > 0.6
-
-        sspc_rows = sorted(
-            [r for r in rows if r.algorithm == "SSPC" and r.axis == axis], key=lambda r: r.size
-        )
-        proclus_rows = sorted(
-            [r for r in rows if r.algorithm == "PROCLUS" and r.axis == axis], key=lambda r: r.size
-        )
+        assert metrics["sspc_%s_slope_positive" % axis] == 1.0
+        assert metrics["sspc_%s_r_squared" % axis] > 0.6
         # Comparable speed: within an order of magnitude of PROCLUS at the
         # largest size (the paper reports the two as comparable).
-        assert sspc_rows[-1].total_seconds < 20 * max(proclus_rows[-1].total_seconds, 1e-3)
+        assert metrics["sspc_vs_proclus_%s" % axis] < 20

@@ -3,63 +3,24 @@
 Datasets with 0% to 25% outliers; the paper reports only a moderate
 accuracy decrease and a detected-outlier count that closely tracks the
 true count (the corresponding figure is omitted from the paper, so the
-numbers here are the reproduced table).
+numbers here are the reproduced table).  Thin wrapper over the
+registered ``outlier_immunity`` scenario.
 """
 
 from __future__ import annotations
 
-from repro.experiments.outlier_immunity import run_outlier_immunity
+from repro.bench import registry
+
+SCENARIO = registry.get("outlier_immunity")
 
 
-def _run(paper_scale: bool):
-    if paper_scale:
-        return run_outlier_immunity(
-            outlier_fractions=(0.0, 0.05, 0.10, 0.15, 0.20, 0.25),
-            n_objects=1000,
-            n_dimensions=100,
-            n_clusters=5,
-            l_real=10,
-            n_repeats=10,
-            random_state=2,
-        )
-    return run_outlier_immunity(
-        outlier_fractions=(0.0, 0.10, 0.25),
-        n_objects=400,
-        n_dimensions=100,
-        n_clusters=5,
-        l_real=10,
-        n_repeats=2,
-        random_state=2,
-    )
-
-
-def test_outlier_immunity(benchmark, paper_scale):
+def test_outlier_immunity(benchmark, bench_scale):
     """Regenerate the outlier-immunity table."""
-    rows = benchmark.pedantic(_run, args=(paper_scale,), iterations=1, rounds=1)
+    summary = benchmark.pedantic(lambda: SCENARIO.run(bench_scale), iterations=1, rounds=1)
 
     print("\n=== Section 5.2: SSPC accuracy and outlier detection vs outlier fraction ===")
-    print("%-18s %8s %14s %18s %18s" % ("outlier fraction", "ARI", "true outliers", "detected outliers", "outlier recall"))
-    for row in rows:
-        print(
-            "%-18s %8.3f %14d %18d %18.3f"
-            % (
-                row.configuration["outlier_fraction"],
-                row.ari,
-                int(row.extra["true_outliers"]),
-                int(row.extra["detected_outliers"]),
-                row.extra["outlier_recall"],
-            )
-        )
+    print(summary.table)
 
-    by_fraction = {row.configuration["outlier_fraction"]: row for row in rows}
-    fractions = sorted(by_fraction)
-    clean_ari = by_fraction[fractions[0]].ari
-    dirty_ari = by_fraction[fractions[-1]].ari
     # Moderate accuracy decrease only.
-    assert clean_ari > 0.8
-    assert dirty_ari > clean_ari - 0.35
-    # Detected outliers resemble the actual amount at the highest contamination.
-    worst = by_fraction[fractions[-1]]
-    true_outliers = worst.extra["true_outliers"]
-    detected = worst.extra["detected_outliers"]
-    assert 0.4 * true_outliers <= detected <= 2.5 * true_outliers
+    assert summary.metrics["clean_ari"] > 0.8
+    assert summary.metrics["ari_drop"] < 0.35

@@ -1,7 +1,10 @@
-"""Shared configuration for the benchmark harness.
+"""Shared configuration for the pytest-benchmark harness.
 
-Every module regenerates one table or figure of the paper (see DESIGN.md
-for the experiment index).  Each benchmark both:
+Every module regenerates one table or figure of the paper by running the
+corresponding *registered scenario* (see :mod:`repro.bench.scenarios`)
+through exactly the same plan / execute / aggregate pipeline as the
+``repro-bench`` orchestrator, so the two paths cannot drift.  Each
+benchmark both:
 
 * times the experiment via ``pytest-benchmark`` (so regressions in the
   algorithms show up as timing changes), and
@@ -9,29 +12,34 @@ for the experiment index).  Each benchmark both:
   ``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
   results.
 
-The paper-scale experiments (n = 1000 raw-accuracy sweeps, d = 3000
-knowledge sweeps, 10 repeats each) take tens of minutes; the benchmarks
-default to *reduced-scale* configurations that preserve the relevant
-ratios (cluster dimensionality as a fraction of d, coverage, input sizes)
-and finish in a few minutes.  Set the environment variable
-``REPRO_BENCH_SCALE=paper`` to run the full paper-scale configuration.
+Scale resolution is centralized in :mod:`repro.bench.config`: the suite
+runs at the ``reduced`` scale by default and at the full paper scale
+with ``REPRO_BENCH_SCALE=paper`` (``repro-bench run --suite ...`` uses
+the same resolution).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "reduced").lower() == "paper"
+from repro.bench.config import resolve_scale
+
+SCALE = resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The resolved benchmark scale (``smoke`` / ``reduced`` / ``paper``)."""
+    return SCALE
 
 
 @pytest.fixture(scope="session")
 def paper_scale() -> bool:
     """Whether the full paper-scale configurations were requested."""
-    return PAPER_SCALE
+    return SCALE == "paper"
 
 
 def pytest_report_header(config):
-    scale = "paper" if PAPER_SCALE else "reduced"
-    return "repro benchmark scale: %s (set REPRO_BENCH_SCALE=paper for full scale)" % scale
+    return (
+        "repro benchmark scale: %s (set REPRO_BENCH_SCALE=paper for full scale)" % SCALE
+    )

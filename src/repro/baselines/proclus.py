@@ -26,7 +26,7 @@ when it is far from the true cluster dimensionality (Figure 4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -135,7 +135,6 @@ class PROCLUS:
 
         best_cost = float("inf")
         best_medoids = current.copy()
-        best_dimensions: List[np.ndarray] = [np.arange(n_dimensions)] * self.n_clusters
         best_labels = np.zeros(n_objects, dtype=int)
 
         for _ in range(self.max_iterations):
@@ -145,7 +144,6 @@ class PROCLUS:
             if cost < best_cost:
                 best_cost = cost
                 best_medoids = current.copy()
-                best_dimensions = dimensions
                 best_labels = labels
             # Replace the medoid of the smallest cluster with a spare candidate.
             if not spare:

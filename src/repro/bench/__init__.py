@@ -1,0 +1,38 @@
+"""Benchmark orchestration: declarative scenarios, one sharded engine.
+
+Every figure reproduction and performance benchmark of the paper is
+registered as a :class:`~repro.bench.scenario.Scenario` and executed by
+one engine — a multiprocessing-sharded, resumable runner with a
+schema-versioned result store and a baseline regression gate.  See
+``repro-bench --help`` (or ``python -m repro.bench``).
+
+This package root stays import-light; scenario definitions load lazily
+on first registry lookup.  The executor protocol the runner shards with
+lives in :mod:`repro.utils.executor` (it is also what the experiment
+harness fans ``run_best_of`` repeats out with) and is re-exported here
+for convenience.
+"""
+
+from repro.bench.config import DEFAULT_SCALE, SCALES, resolve_scale, task_budget_seconds
+from repro.bench.scenario import MetricSpec, Scenario, ScenarioSummary, TaskSpec
+from repro.utils.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "SCALES",
+    "MetricSpec",
+    "ProcessExecutor",
+    "Scenario",
+    "ScenarioSummary",
+    "SerialExecutor",
+    "TaskSpec",
+    "ThreadExecutor",
+    "resolve_executor",
+    "resolve_scale",
+    "task_budget_seconds",
+]

@@ -1,0 +1,199 @@
+"""``repro-bench`` — the benchmark orchestration command line.
+
+Subcommands
+-----------
+``list``
+    Show every registered scenario with its group, figure and task count.
+``run``
+    Execute a suite (``--suite smoke|reduced|paper``) with ``--workers``
+    process shards into a resumable ``--run-dir``; re-running the same
+    command resumes from the stored records.
+``compare``
+    Gate a run against a committed baseline (``BENCH_smoke.json`` ...):
+    exits non-zero on any regression beyond the declared tolerances.
+``report``
+    Print (and optionally write as markdown) the per-figure tables of a
+    completed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench import registry
+from repro.bench.compare import baseline_from_summary, compare_run, load_baseline
+from repro.bench.config import SCALES, resolve_scale
+from repro.bench.report import format_run, write_tables
+from repro.bench.runner import run_suite
+from repro.bench.store import RunStore
+
+
+def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--group",
+        default=None,
+        help="restrict to one scenario group (see 'repro-bench list')",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        default=None,
+        metavar="ID",
+        help="restrict to specific scenario ids (repeatable)",
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.suite)
+    scenarios = registry.select(scenario_ids=args.scenarios, group=args.group)
+    print("%-28s %-12s %-14s %6s  %s" % ("scenario", "group", "figure", "tasks", "title"))
+    for scenario in scenarios:
+        print(
+            "%-28s %-12s %-14s %6d  %s"
+            % (
+                scenario.scenario_id,
+                scenario.group,
+                scenario.figure,
+                len(scenario.build_tasks(scale)),
+                scenario.title,
+            )
+        )
+    print("\n%d scenarios, groups: %s (task counts at scale %r)" % (
+        len(scenarios), ", ".join(registry.groups()), scale))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.suite)
+    report = run_suite(
+        scale=scale,
+        run_dir=args.run_dir,
+        workers=args.workers,
+        group=args.group,
+        scenario_ids=args.scenarios,
+        resume=not args.no_resume,
+        log=print,
+    )
+    store = RunStore(args.run_dir)
+    summary = store.load_summary() or {}
+    print()
+    print(format_run(summary))
+    print()
+    print(
+        "run complete: %d tasks (%d cached, %d executed), %d failure(s)"
+        % (report.n_tasks, report.n_cached, report.n_executed, len(report.failures))
+    )
+    if args.write_baseline:
+        baseline = baseline_from_summary(summary)
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("baseline written to %s" % args.write_baseline)
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    store = RunStore(args.run_dir)
+    summary = store.load_summary()
+    if summary is None:
+        print("error: no summary.json in %s (run 'repro-bench run' first)" % args.run_dir,
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    report = compare_run(
+        summary,
+        baseline,
+        group=args.group,
+        scenario_ids=args.scenarios,
+        exact=args.exact,
+    )
+    print(report.format())
+    gated = [v for v in report.verdicts if v.kind in ("accuracy", "throughput")]
+    print(
+        "\ncompared %d metrics (%d gated): %d regression(s), %d error(s)"
+        % (len(report.verdicts), len(gated), len(report.failures), len(report.errors))
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = RunStore(args.run_dir)
+    summary = store.load_summary()
+    if summary is None:
+        print("error: no summary.json in %s" % args.run_dir, file=sys.stderr)
+        return 2
+    print(format_run(summary))
+    if args.output:
+        written = write_tables(summary, args.output)
+        print("\nwrote %d table files to %s" % (len(written), args.output))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Parallel, resumable orchestration of the paper's benchmark suite.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--suite", default=None, choices=SCALES,
+                             help="scale used to count tasks (default: $REPRO_BENCH_SCALE)")
+    _add_selection_arguments(list_parser)
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="execute a suite into a resumable run dir")
+    run_parser.add_argument("--suite", default=None, choices=SCALES,
+                            help="suite scale (default: $REPRO_BENCH_SCALE, then 'reduced')")
+    run_parser.add_argument("--run-dir", default="runs/latest", type=Path,
+                            help="resumable result store (default: runs/latest)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="process shards for task fan-out (default: 1)")
+    run_parser.add_argument("--no-resume", action="store_true",
+                            help="ignore existing records and re-execute everything")
+    run_parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                            help="also write the aggregated metrics as a baseline file")
+    _add_selection_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="gate a run against a committed baseline"
+    )
+    compare_parser.add_argument("--run-dir", default="runs/latest", type=Path)
+    compare_parser.add_argument("--baseline", required=True,
+                                help="baseline JSON (BENCH_smoke.json, or another run's summary.json)")
+    compare_parser.add_argument("--exact", action="store_true",
+                                help="require identical gated metrics (shard-equality checks)")
+    _add_selection_arguments(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    report_parser = subparsers.add_parser("report", help="print per-figure tables of a run")
+    report_parser.add_argument("--run-dir", default="runs/latest", type=Path)
+    report_parser.add_argument("--output", default=None,
+                               help="also write one markdown table per figure into this directory")
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed task records were persisted; rerun to resume",
+              file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

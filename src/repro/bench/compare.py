@@ -1,0 +1,211 @@
+"""Regression gate: diff a run's summary against a committed baseline.
+
+The baseline is a small JSON document mapping scenario ids to their
+aggregated metrics (``BENCH_smoke.json`` / ``BENCH_reduced.json`` are
+committed to the repository).  Gating semantics come from the metric
+specs *declared on the registered scenarios* — the baseline file stores
+plain numbers only, so tolerances are versioned with the code:
+
+* ``accuracy`` metrics gate with an absolute tolerance, direction-aware;
+* ``throughput`` metrics gate with a tolerance relative to the baseline;
+* ``timing`` / ``info`` metrics are reported but never gate (absolute
+  wall-clock numbers are not comparable across machines).
+
+``compare`` exits non-zero when any gated metric regresses beyond its
+declared tolerance, when a requested scenario is missing from the run,
+or when a gated metric disappears.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench import registry
+from repro.bench.scenario import SCHEMA_VERSION, MetricSpec
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class MetricVerdict:
+    """Outcome of one metric comparison."""
+
+    scenario_id: str
+    metric: str
+    kind: str
+    status: str  # "ok" | "improved" | "regression" | "missing" | "info"
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+@dataclass
+class CompareReport:
+    """All verdicts of one compare invocation."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[MetricVerdict]:
+        return [verdict for verdict in self.verdicts if verdict.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.errors
+
+    def format(self) -> str:
+        lines: List[str] = []
+        width = max([len(v.scenario_id) for v in self.verdicts] + [8])
+        for verdict in self.verdicts:
+            baseline = "-" if verdict.baseline is None else "%.6g" % verdict.baseline
+            current = "-" if verdict.current is None else "%.6g" % verdict.current
+            lines.append(
+                "%-10s %-*s %-34s %12s -> %-12s %s"
+                % (
+                    verdict.status.upper(),
+                    width,
+                    verdict.scenario_id,
+                    verdict.metric,
+                    baseline,
+                    current,
+                    verdict.note,
+                )
+            )
+        for error in self.errors:
+            lines.append("ERROR      %s" % error)
+        return "\n".join(lines)
+
+
+def baseline_from_summary(summary: Mapping[str, object]) -> Dict[str, object]:
+    """Distil a run summary into the committed-baseline document."""
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "scale": summary.get("scale", "unknown"),
+        "scenarios": {
+            scenario_id: {"metrics": dict(entry.get("metrics", {}))}
+            for scenario_id, entry in dict(summary.get("scenarios", {})).items()
+        },
+    }
+
+
+def load_baseline(path) -> Dict[str, object]:
+    """Load a baseline file; run summaries are accepted transparently."""
+    path = Path(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "scenarios" not in payload:
+        raise ValueError("%s is not a repro-bench baseline (no 'scenarios' key)" % path)
+    if payload.get("schema_version") not in (BASELINE_SCHEMA_VERSION, SCHEMA_VERSION):
+        raise ValueError(
+            "%s has baseline schema %r; this build understands %r"
+            % (path, payload.get("schema_version"), BASELINE_SCHEMA_VERSION)
+        )
+    return baseline_from_summary(payload)
+
+
+def _compare_metric(
+    scenario_id: str,
+    spec: MetricSpec,
+    baseline: Optional[float],
+    current: Optional[float],
+    *,
+    exact: bool,
+) -> MetricVerdict:
+    if not spec.gated:
+        return MetricVerdict(
+            scenario_id, spec.name, spec.kind, "info", baseline, current, "not gated"
+        )
+    if baseline is None:
+        return MetricVerdict(
+            scenario_id, spec.name, spec.kind, "info", baseline, current, "no baseline value"
+        )
+    if current is None:
+        return MetricVerdict(
+            scenario_id, spec.name, spec.kind, "missing", baseline, current, "metric disappeared"
+        )
+    if math.isnan(current):
+        # NaN compares False against everything, which would silently
+        # read as "ok" below — a gated metric going NaN is a regression.
+        return MetricVerdict(
+            scenario_id, spec.name, spec.kind, "regression", baseline, current, "metric is NaN"
+        )
+    if exact:
+        # Exact mode proves deterministic equality (sharded vs serial);
+        # wall-clock-derived throughput ratios are exempt by nature.
+        if spec.kind != "accuracy":
+            return MetricVerdict(
+                scenario_id, spec.name, spec.kind, "info", baseline, current, "not exact-gated"
+            )
+        status = "ok" if current == baseline else "regression"
+        note = "" if status == "ok" else "exact mode: values differ"
+        return MetricVerdict(scenario_id, spec.name, spec.kind, status, baseline, current, note)
+    if spec.kind == "throughput":
+        allowed = abs(baseline) * spec.tolerance
+    else:
+        allowed = spec.tolerance
+    delta = current - baseline
+    if spec.direction == "higher":
+        bad, improved = delta < -allowed, delta > 0
+    elif spec.direction == "lower":
+        bad, improved = delta > allowed, delta < 0
+    else:  # "match"
+        bad, improved = abs(delta) > allowed, False
+    if bad:
+        note = "regressed by %.6g (tolerance %.6g)" % (abs(delta), allowed)
+        return MetricVerdict(scenario_id, spec.name, spec.kind, "regression", baseline, current, note)
+    status = "improved" if improved else "ok"
+    return MetricVerdict(scenario_id, spec.name, spec.kind, status, baseline, current, "")
+
+
+def compare_run(
+    summary: Mapping[str, object],
+    baseline: Mapping[str, object],
+    *,
+    group: Optional[str] = None,
+    scenario_ids: Optional[Sequence[str]] = None,
+    exact: bool = False,
+) -> CompareReport:
+    """Compare a run summary against a baseline document.
+
+    ``exact`` demands identical gated-metric values (used in CI to prove
+    sharded and serial executions agree bit for bit); ``timing`` /
+    ``info`` metrics stay exempt even then.
+    """
+    report = CompareReport()
+    run_scenarios = dict(summary.get("scenarios", {}))
+    base_scenarios = dict(baseline.get("scenarios", {}))
+    for failure, message in dict(summary.get("failures", {})).items():
+        report.errors.append("run failure %s: %s" % (failure, message.splitlines()[-1]))
+
+    selected = registry.select(scenario_ids=scenario_ids, group=group)
+    for scenario in selected:
+        scenario_id = scenario.scenario_id
+        base_entry = base_scenarios.get(scenario_id)
+        if base_entry is None:
+            continue  # nothing committed for this scenario at this scale
+        run_entry = run_scenarios.get(scenario_id)
+        if run_entry is None:
+            report.errors.append("scenario %s has a baseline but no run result" % scenario_id)
+            continue
+        base_metrics = dict(base_entry.get("metrics", {}))
+        run_metrics = dict(run_entry.get("metrics", {}))
+        for spec in scenario.metrics:
+            report.verdicts.append(
+                _compare_metric(
+                    scenario_id,
+                    spec,
+                    base_metrics.get(spec.name),
+                    run_metrics.get(spec.name),
+                    exact=exact,
+                )
+            )
+    return report

@@ -1,0 +1,216 @@
+"""Benchmark of the serving subsystem: inference throughput + artifact I/O.
+
+Measures, on a model fitted at the paper-scale configuration
+(default d=100, k=10):
+
+* **batch throughput** — points/second of
+  :meth:`ProjectedClusterIndex.predict` over large out-of-sample query
+  batches (the fused grouped kernel), best of ``--repeats`` runs;
+* **single-point throughput** — the scalar reference path, for the
+  batching speedup headline;
+* **artifact round trip** — seconds to ``save`` + ``load`` the model
+  artifact, and a **divergence gate**: predictions from the reloaded
+  artifact must be bit-identical to the in-memory ones, and the batch
+  path bit-identical to the single-point path (the script exits non-zero
+  otherwise, so CI can use it as a correctness gate).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full (d=100, k=10)
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke    # quick CI smoke run
+
+Emits ``BENCH_serving.json``.  ``--min-points-per-sec`` turns the
+throughput number into a gate as well (the acceptance bar is 10k
+points/sec at d=100, k=10; the batched numpy kernel measures orders of
+magnitude above that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.sspc import SSPC
+from repro.data.generator import SyntheticDataGenerator
+from repro.serving.artifact import load_artifact
+from repro.serving.index import ProjectedClusterIndex
+
+
+def build_dataset(n_objects: int, n_dimensions: int, n_clusters: int, seed: int):
+    """Synthetic projected-cluster dataset matching the paper's model."""
+    return SyntheticDataGenerator(
+        n_objects=n_objects,
+        n_dimensions=n_dimensions,
+        n_clusters=n_clusters,
+        avg_cluster_dimensionality=max(n_dimensions // 10, 3),
+        outlier_fraction=0.05,
+        random_state=seed,
+    ).generate(seed)
+
+
+def build_queries(dataset, n_queries: int, seed: int) -> np.ndarray:
+    """Out-of-sample traffic: jittered in-cluster points plus background noise."""
+    rng = np.random.default_rng(seed + 1)
+    data = dataset.data
+    n_near = n_queries // 2
+    near = data[rng.integers(0, data.shape[0], size=n_near)]
+    near = near + rng.normal(scale=0.05 * data.std(), size=near.shape)
+    noise = rng.uniform(data.min(axis=0), data.max(axis=0),
+                        size=(n_queries - n_near, data.shape[1]))
+    queries = np.vstack([near, noise])
+    rng.shuffle(queries, axis=0)
+    return queries
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    dataset = build_dataset(args.n_objects, args.n_dimensions, args.n_clusters, args.seed)
+    fit_start = time.perf_counter()
+    model = SSPC(
+        n_clusters=args.n_clusters,
+        m=0.5,
+        max_iterations=args.fit_iterations,
+        random_state=args.seed,
+    ).fit(dataset.data)
+    fit_seconds = time.perf_counter() - fit_start
+
+    queries = build_queries(dataset, args.n_queries, args.seed)
+    index = ProjectedClusterIndex(model.to_artifact())
+
+    # ---- batch throughput ------------------------------------------------
+    batch_times = []
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        labels_batch = index.predict(queries)
+        batch_times.append(time.perf_counter() - start)
+    batch_points_per_sec = args.n_queries / min(batch_times)
+
+    # ---- single-point reference path ------------------------------------
+    n_single = min(args.n_single, args.n_queries)
+    start = time.perf_counter()
+    labels_single = np.asarray(
+        [index.predict_one(point) for point in queries[:n_single]]
+    )
+    single_seconds = time.perf_counter() - start
+    single_points_per_sec = n_single / single_seconds if single_seconds > 0 else float("inf")
+    batch_equals_single = bool(
+        np.array_equal(labels_batch[:n_single], labels_single)
+    )
+
+    # ---- artifact round trip --------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_path = Path(tmp) / "model"
+        save_start = time.perf_counter()
+        model.save(artifact_path)
+        save_seconds = time.perf_counter() - save_start
+        load_start = time.perf_counter()
+        loaded = load_artifact(artifact_path)
+        load_seconds = time.perf_counter() - load_start
+        artifact_bytes = sum(
+            entry.stat().st_size for entry in artifact_path.iterdir()
+        )
+    labels_reloaded = ProjectedClusterIndex(loaded).predict(queries)
+    roundtrip_identical = bool(np.array_equal(labels_batch, labels_reloaded))
+
+    n_outliers = int(np.count_nonzero(labels_batch == -1))
+    return {
+        "config": {
+            "n_objects": args.n_objects,
+            "n_dimensions": args.n_dimensions,
+            "n_clusters": args.n_clusters,
+            "n_queries": args.n_queries,
+            "n_single": n_single,
+            "repeats": args.repeats,
+            "fit_iterations": args.fit_iterations,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "fit_seconds": fit_seconds,
+        "batch_points_per_sec": batch_points_per_sec,
+        "batch_seconds_best": min(batch_times),
+        "single_points_per_sec": single_points_per_sec,
+        "batch_speedup_over_single": batch_points_per_sec / single_points_per_sec,
+        "artifact_save_seconds": save_seconds,
+        "artifact_load_seconds": load_seconds,
+        "artifact_roundtrip_seconds": save_seconds + load_seconds,
+        "artifact_bytes": artifact_bytes,
+        "queries_marked_outlier": n_outliers,
+        "batch_equals_single": batch_equals_single,
+        "roundtrip_predictions_identical": roundtrip_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-objects", type=int, default=5000,
+                        help="training-set size for the fitted model")
+    parser.add_argument("--n-dimensions", type=int, default=100)
+    parser.add_argument("--n-clusters", type=int, default=10)
+    parser.add_argument("--n-queries", type=int, default=200_000,
+                        help="out-of-sample points per timed batch")
+    parser.add_argument("--n-single", type=int, default=2000,
+                        help="points scored through the scalar reference path")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed batch runs; the best run is reported")
+    parser.add_argument("--fit-iterations", type=int, default=10,
+                        help="SSPC max_iterations for the one-off fit")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI smoke runs "
+                             "(keeps d and k at the gate configuration)")
+    parser.add_argument("--output", default="BENCH_serving.json")
+    parser.add_argument("--min-points-per-sec", type=float, default=None,
+                        help="exit non-zero when batch throughput falls below this")
+    args = parser.parse_args(argv)
+    for name in ("n_objects", "n_dimensions", "n_clusters", "n_queries",
+                 "n_single", "repeats", "fit_iterations"):
+        if getattr(args, name) < 1:
+            parser.error("--%s must be at least 1" % name.replace("_", "-"))
+    if args.smoke:
+        # d and k stay at the acceptance configuration; only the fit size,
+        # query volume and fit length shrink.
+        args.n_objects = min(args.n_objects, 800)
+        args.n_queries = min(args.n_queries, 20_000)
+        args.n_single = min(args.n_single, 500)
+        args.fit_iterations = min(args.fit_iterations, 3)
+
+    report = run_benchmark(args)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    print("SSPC serving benchmark (d=%d, k=%d, %d queries)" % (
+        args.n_dimensions, args.n_clusters, args.n_queries))
+    print("  fit (one-off)        : %.2f s" % report["fit_seconds"])
+    print("  batch inference      : %.0f points/s" % report["batch_points_per_sec"])
+    print("  single-point path    : %.0f points/s (batch speedup %.1fx)" % (
+        report["single_points_per_sec"], report["batch_speedup_over_single"]))
+    print("  artifact round trip  : save %.4f s + load %.4f s (%.1f KiB)" % (
+        report["artifact_save_seconds"], report["artifact_load_seconds"],
+        report["artifact_bytes"] / 1024.0))
+    print("  outlier gate         : %d/%d queries rejected" % (
+        report["queries_marked_outlier"], args.n_queries))
+    print("  batch == single      : %s" % report["batch_equals_single"])
+    print("  round trip identical : %s" % report["roundtrip_predictions_identical"])
+    print("  report written to %s" % args.output)
+
+    if not report["batch_equals_single"]:
+        print("ERROR: batch and single-point paths diverged", file=sys.stderr)
+        return 1
+    if not report["roundtrip_predictions_identical"]:
+        print("ERROR: predictions diverged after artifact save/load", file=sys.stderr)
+        return 1
+    if (args.min_points_per_sec is not None
+            and report["batch_points_per_sec"] < args.min_points_per_sec):
+        print("ERROR: throughput %.0f points/s below required %.0f" % (
+            report["batch_points_per_sec"], args.min_points_per_sec), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Scenario registry: declarative registration and lookup.
+
+Built-in scenarios (the paper's figure suite plus the perf benchmarks)
+live in :mod:`repro.bench.scenarios` and are registered lazily on first
+lookup, so importing :mod:`repro.bench` stays cheap and process workers
+can resolve scenarios by id after a ``spawn`` start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.scenario import Scenario
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Register ``scenario``; refuses duplicate ids unless ``replace``."""
+    if not replace and scenario.scenario_id in _REGISTRY:
+        raise ValueError("scenario %r is already registered" % scenario.scenario_id)
+    _REGISTRY[scenario.scenario_id] = scenario
+    return scenario
+
+
+def unregister(scenario_id: str) -> None:
+    """Remove a scenario (used by tests to clean up synthetic scenarios)."""
+    _REGISTRY.pop(scenario_id, None)
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        # Importing the module registers every built-in scenario.
+        from repro.bench import scenarios  # noqa: F401
+
+
+def get(scenario_id: str) -> Scenario:
+    """Look up one scenario by id."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[scenario_id]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario %r (known: %s)" % (scenario_id, ", ".join(sorted(_REGISTRY)))
+        ) from None
+
+
+def ids() -> List[str]:
+    """All registered scenario ids, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def groups() -> List[str]:
+    """All distinct scenario groups, sorted."""
+    _ensure_builtins()
+    return sorted({scenario.group for scenario in _REGISTRY.values()})
+
+
+def select(
+    *,
+    scenario_ids: Optional[Sequence[str]] = None,
+    group: Optional[str] = None,
+) -> List[Scenario]:
+    """Scenarios filtered by explicit ids and/or group, in id order."""
+    _ensure_builtins()
+    if scenario_ids:
+        chosen = [get(scenario_id) for scenario_id in scenario_ids]
+    else:
+        chosen = [_REGISTRY[scenario_id] for scenario_id in sorted(_REGISTRY)]
+    if group is not None:
+        known = groups()
+        if group not in known:
+            raise KeyError("unknown scenario group %r (known: %s)" % (group, ", ".join(known)))
+        chosen = [scenario for scenario in chosen if scenario.group == group]
+    return chosen

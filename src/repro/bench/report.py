@@ -1,0 +1,83 @@
+"""Human-readable reporting of a completed run: per-figure tables.
+
+``repro-bench report`` prints every scenario's figure-style table and
+key metrics, and can write them as one markdown file per figure — the
+nightly CI workflow uploads that directory as its artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping
+
+from repro.bench.scenario import ScenarioSummary
+
+
+def _summaries(summary_doc: Mapping[str, object]) -> Dict[str, ScenarioSummary]:
+    return {
+        scenario_id: ScenarioSummary.from_dict(entry)
+        for scenario_id, entry in dict(summary_doc.get("scenarios", {})).items()
+    }
+
+
+def format_run(summary_doc: Mapping[str, object]) -> str:
+    """The full-text report for one run summary document."""
+    lines: List[str] = []
+    lines.append(
+        "repro-bench run %s (scale: %s, generated: %s)"
+        % (
+            summary_doc.get("run_id", "unknown"),
+            summary_doc.get("scale", "unknown"),
+            summary_doc.get("generated_at", "unknown"),
+        )
+    )
+    for scenario_id, summary in sorted(_summaries(summary_doc).items()):
+        lines.append("")
+        lines.append("=== %s (%d tasks, %.2fs) ===" % (scenario_id, summary.n_tasks, summary.seconds))
+        if summary.table:
+            lines.append(summary.table)
+        for name, value in sorted(summary.metrics.items()):
+            lines.append("  %-38s %.6g" % (name, value))
+        if summary.over_budget_tasks:
+            lines.append("  over budget: %s" % ", ".join(summary.over_budget_tasks))
+    failures = dict(summary_doc.get("failures", {}))
+    if failures:
+        lines.append("")
+        lines.append("FAILURES:")
+        for key, message in sorted(failures.items()):
+            lines.append("  %s: %s" % (key, message.splitlines()[-1]))
+    return "\n".join(lines)
+
+
+def write_tables(summary_doc: Mapping[str, object], output_dir) -> List[Path]:
+    """Write one markdown table file per scenario plus an index; return paths."""
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for scenario_id, summary in sorted(_summaries(summary_doc).items()):
+        path = output / ("%s.md" % scenario_id)
+        lines = [
+            "# %s" % scenario_id,
+            "",
+            "scale: `%s` — %d tasks, %.2fs total" % (summary.scale, summary.n_tasks, summary.seconds),
+            "",
+        ]
+        if summary.table:
+            lines += ["```", summary.table, "```", ""]
+        lines.append("| metric | value |")
+        lines.append("| --- | --- |")
+        for name, value in sorted(summary.metrics.items()):
+            lines.append("| %s | %.6g |" % (name, value))
+        lines.append("")
+        path.write_text("\n".join(lines))
+        written.append(path)
+    index = output / "README.md"
+    index.write_text(
+        "\n".join(
+            ["# repro-bench report", ""]
+            + ["- [%s](%s.md)" % (path.stem, path.stem) for path in written]
+            + [""]
+        )
+    )
+    written.append(index)
+    return written

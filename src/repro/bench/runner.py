@@ -1,0 +1,194 @@
+"""The sharded scenario runner.
+
+One engine executes every registered scenario: it plans the scale's
+tasks, skips the ones whose records already sit in the run store (resume
+/ config-hash invalidation), fans the pending tasks out across worker
+processes, persists each record the moment it completes, and finally
+aggregates per-scenario summaries.
+
+Determinism: every task carries its own integer seed (drawn via
+:mod:`repro.utils.rng` at planning time), so a task's record is
+bit-identical no matter which worker executes it or in which order —
+``--workers 4`` and ``--workers 1`` produce identical metrics.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import registry
+from repro.utils.executor import resolve_executor
+from repro.bench.scenario import Scenario, ScenarioSummary, TaskSpec
+from repro.bench.store import RunStore
+
+
+@dataclass
+class RunReport:
+    """Outcome of one ``run`` invocation."""
+
+    scale: str
+    summaries: Dict[str, ScenarioSummary]
+    n_tasks: int = 0
+    n_cached: int = 0
+    n_executed: int = 0
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _execute_task(item: Tuple[str, str, Dict[str, object]]) -> Dict[str, object]:
+    """Process-worker entry point: resolve the scenario, run one task."""
+    scenario_id, task_name, params = item
+    scenario = registry.get(scenario_id)
+    return scenario.run_task(TaskSpec(name=task_name, params=params))
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    *,
+    scale: str,
+    store: RunStore,
+    workers: int = 1,
+    resume: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Execute ``scenarios`` at ``scale`` into ``store`` with ``workers`` shards.
+
+    Completed tasks found in the store are reused (unless ``resume`` is
+    false); failures are collected per task and reported at the end
+    rather than aborting the whole run, so a partially failing suite
+    still persists every completed record for the next resume.
+    """
+    emit = log or (lambda message: None)
+    planned: List[Tuple[Scenario, TaskSpec]] = []
+    by_scenario: Dict[str, List[TaskSpec]] = {}
+    for scenario in scenarios:
+        tasks = scenario.build_tasks(scale)
+        by_scenario[scenario.scenario_id] = tasks
+        planned.extend((scenario, task) for task in tasks)
+
+    store.write_manifest(scale=scale, scenarios=by_scenario)
+
+    cached: Dict[Tuple[str, str], Dict[str, object]] = {}
+    pending: List[Tuple[Scenario, TaskSpec]] = []
+    for scenario, task in planned:
+        record = store.load_record(scenario.scenario_id, task) if resume else None
+        if record is not None:
+            cached[(scenario.scenario_id, task.name)] = record
+        else:
+            pending.append((scenario, task))
+    emit(
+        "planned %d tasks across %d scenarios (%d cached, %d to run, %d worker%s)"
+        % (
+            len(planned),
+            len(scenarios),
+            len(cached),
+            len(pending),
+            workers,
+            "" if workers == 1 else "s",
+        )
+    )
+
+    failures: Dict[str, str] = {}
+    executor = resolve_executor(workers)
+    items = [
+        (scenario.scenario_id, task.name, dict(task.params)) for scenario, task in pending
+    ]
+    for index, outcome in _robust_imap(executor, items, emit):
+        scenario, task = pending[index]
+        key = "%s/%s" % (scenario.scenario_id, task.name)
+        if isinstance(outcome, _TaskFailure):
+            failures[key] = outcome.message
+            emit("FAIL %s: %s" % (key, outcome.message.splitlines()[-1]))
+            continue
+        store.write_record(outcome)
+        cached[(scenario.scenario_id, task.name)] = outcome
+        emit("done %s (%.2fs)" % (key, outcome["seconds"]))
+
+    summaries: Dict[str, ScenarioSummary] = {}
+    for scenario in scenarios:
+        records = [
+            cached[(scenario.scenario_id, task.name)]
+            for task in by_scenario[scenario.scenario_id]
+            if (scenario.scenario_id, task.name) in cached
+        ]
+        if len(records) != len(by_scenario[scenario.scenario_id]):
+            # Task-level failures above already explain the gap; add a
+            # scenario-level entry only when they don't (e.g. records
+            # missing for another reason), so one failure counts once.
+            if not any(key.startswith(scenario.scenario_id + "/") for key in failures):
+                failures[scenario.scenario_id] = "incomplete: %d/%d task records" % (
+                    len(records),
+                    len(by_scenario[scenario.scenario_id]),
+                )
+            continue
+        try:
+            summaries[scenario.scenario_id] = scenario.summarize(scale, records)
+        except Exception:
+            failures[scenario.scenario_id] = "aggregation failed:\n%s" % traceback.format_exc()
+
+    store.write_summary(scale=scale, summaries=summaries, failures=failures)
+    return RunReport(
+        scale=scale,
+        summaries=summaries,
+        n_tasks=len(planned),
+        n_cached=len(planned) - len(pending),
+        n_executed=len(pending) - sum(1 for key in failures if "/" in key),
+        failures=failures,
+    )
+
+
+class _TaskFailure:
+    def __init__(self, message: str):
+        self.message = message
+
+
+def _guarded_execute(item: Tuple[str, str, Dict[str, object]]):
+    try:
+        return _execute_task(item)
+    except Exception:
+        return _TaskFailure(traceback.format_exc())
+
+
+def _robust_imap(executor, items, emit):
+    """Yield ``(index, record-or-failure)`` exactly once per item."""
+    done = set()
+    try:
+        for index, outcome in executor.imap_unordered(_guarded_execute, items):
+            done.add(index)
+            yield index, outcome
+    except Exception:
+        # Pool-level breakage (e.g. a worker killed by the OOM killer):
+        # fall back to serial execution of the items not yet yielded.
+        emit("worker pool failed, falling back to serial execution")
+        for index, item in enumerate(items):
+            if index not in done:
+                yield index, _guarded_execute(item)
+
+
+def run_suite(
+    *,
+    scale: str,
+    run_dir,
+    workers: int = 1,
+    group: Optional[str] = None,
+    scenario_ids: Optional[Sequence[str]] = None,
+    resume: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Convenience wrapper: select scenarios from the registry and run them."""
+    scenarios = registry.select(scenario_ids=scenario_ids, group=group)
+    if not scenarios:
+        raise ValueError("no scenarios selected")
+    return run_scenarios(
+        scenarios,
+        scale=scale,
+        store=RunStore(run_dir),
+        workers=workers,
+        resume=resume,
+        log=log,
+    )

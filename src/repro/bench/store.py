@@ -1,0 +1,165 @@
+"""Schema-versioned, resumable on-disk result store for benchmark runs.
+
+Layout of a run directory::
+
+    <run_dir>/
+        manifest.json                      # run identity + planned tasks
+        summary.json                       # aggregated metrics (run end)
+        <scenario_id>/<task>-<hash>.json   # one record per completed task
+
+Records are keyed by the task's *config hash* (scenario id + task name +
+parameters + schema version), so a record is only ever reused for the
+exact configuration that produced it: interrupted runs resume without
+re-executing completed tasks, and any configuration or schema change
+invalidates stale records automatically.  All writes are atomic
+(temp file + rename) so a killed run never leaves a corrupt record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.bench.scenario import SCHEMA_VERSION, ScenarioSummary, TaskSpec
+
+MANIFEST_NAME = "manifest.json"
+SUMMARY_NAME = "summary.json"
+
+
+class StoreError(RuntimeError):
+    """Raised when a run directory cannot be (re)used."""
+
+
+def _atomic_write_json(path: Path, payload: Mapping[str, object]) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, object]]:
+    if not path.is_file():
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        # A record truncated by a hard kill is treated as absent: the
+        # task simply re-executes.
+        return None
+
+
+class RunStore:
+    """One run directory: manifest, per-task records and the summary."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # ---- manifest ------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def load_manifest(self) -> Optional[Dict[str, object]]:
+        return _read_json(self.manifest_path)
+
+    def write_manifest(
+        self,
+        *,
+        scale: str,
+        scenarios: Mapping[str, List[TaskSpec]],
+        run_id: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Write (or refresh) the manifest describing the planned tasks."""
+        existing = self.load_manifest() or {}
+        if existing and existing.get("scale") != scale:
+            raise StoreError(
+                "run directory %s holds a %r-scale run; refusing to mix in %r-scale tasks "
+                "(use a fresh --run-dir)" % (self.root, existing.get("scale"), scale)
+            )
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": run_id or existing.get("run_id") or ("run-%d" % int(time.time())),
+            "scale": scale,
+            "created_at": existing.get("created_at") or time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenarios": dict(existing.get("scenarios", {})),
+        }
+        for scenario_id, tasks in scenarios.items():
+            manifest["scenarios"][scenario_id] = {
+                "tasks": {task.name: task.config_hash(scenario_id) for task in tasks},
+            }
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.manifest_path, manifest)
+        return manifest
+
+    # ---- task records --------------------------------------------------
+
+    def record_path(self, scenario_id: str, task: TaskSpec) -> Path:
+        return self.root / scenario_id / ("%s-%s.json" % (task.name, task.config_hash(scenario_id)))
+
+    def load_record(self, scenario_id: str, task: TaskSpec) -> Optional[Dict[str, object]]:
+        """The stored record for ``task``, or ``None`` if absent/stale."""
+        record = _read_json(self.record_path(scenario_id, task))
+        if record is None:
+            return None
+        if record.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if record.get("config_hash") != task.config_hash(scenario_id):
+            return None
+        return record
+
+    def write_record(self, record: Mapping[str, object]) -> Path:
+        path = self.root / str(record["scenario_id"])
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / ("%s-%s.json" % (record["task"], record["config_hash"]))
+        _atomic_write_json(target, record)
+        return target
+
+    # ---- summary -------------------------------------------------------
+
+    @property
+    def summary_path(self) -> Path:
+        return self.root / SUMMARY_NAME
+
+    def load_summary(self) -> Optional[Dict[str, object]]:
+        return _read_json(self.summary_path)
+
+    def write_summary(
+        self,
+        *,
+        scale: str,
+        summaries: Mapping[str, ScenarioSummary],
+        failures: Optional[Mapping[str, str]] = None,
+    ) -> Dict[str, object]:
+        manifest = self.load_manifest() or {}
+        existing = self.load_summary() or {}
+        merged: Dict[str, object] = dict(existing.get("scenarios", {}))
+        for scenario_id, summary in summaries.items():
+            merged[scenario_id] = summary.to_dict()
+        # Failures merge the other way round: keep what earlier runs into
+        # this store reported, clear only entries belonging to scenarios
+        # that were successfully (re-)summarized now, then layer the new
+        # failures on top.  A later selective run therefore cannot wash
+        # out another scenario's failure while its stale summary remains.
+        merged_failures: Dict[str, str] = {
+            key: message
+            for key, message in dict(existing.get("failures", {})).items()
+            if key.split("/")[0] not in summaries
+        }
+        merged_failures.update(dict(failures or {}))
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": manifest.get("run_id", "unknown"),
+            "scale": scale,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenarios": merged,
+            "failures": merged_failures,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.summary_path, payload)
+        return payload

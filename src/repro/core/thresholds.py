@@ -31,7 +31,7 @@ and (as the Figure 4 experiment shows) its value is not critical.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 import numpy as np
 from scipy import stats

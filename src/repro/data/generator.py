@@ -25,7 +25,7 @@ parameters used in the paper's experiments exposed as arguments:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -21,7 +21,7 @@ The paper motivates three design decisions that these ablations isolate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -14,16 +14,17 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.executor import SerialExecutor
 from repro.core.model import ClusteringResult
 from repro.core.sspc import SSPC
 from repro.baselines import CLARANS, HARP, PROCLUS
 from repro.evaluation import adjusted_rand_index
 from repro.semisupervision.knowledge import Knowledge
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.rng import RandomState, spawn_rngs
 
 
 @dataclass
@@ -85,6 +86,7 @@ def run_best_of(
     knowledge: Optional[Knowledge] = None,
     random_state: RandomState = None,
     configuration: Optional[Dict[str, object]] = None,
+    executor=None,
 ) -> ExperimentResult:
     """Run an algorithm ``n_repeats`` times and keep the best-objective run.
 
@@ -105,6 +107,12 @@ def run_best_of(
         Seed controlling the independent per-run streams.
     configuration:
         Echoed into the returned :class:`ExperimentResult`.
+    executor:
+        An executor from :mod:`repro.utils.executor` used to fan the
+        independent repeats out (``SerialExecutor`` by default; a
+        ``ThreadExecutor`` overlaps the numpy-heavy fits).  The
+        reduction over the per-repeat outcomes is performed serially in
+        repeat order, so the result is identical for every executor.
 
     Returns
     -------
@@ -114,19 +122,24 @@ def run_best_of(
         convention of reporting 10-run totals).
     """
     rngs = spawn_rngs(random_state, n_repeats)
-    best_objective = -math.inf
-    best_ari = 0.0
-    best_outliers = 0
-    total_runtime = 0.0
-    for rng in rngs:
+
+    def run_one(rng) -> Tuple[ClusteringResult, float]:
         estimator = spec.factory(rng)
         started = time.perf_counter()
         if spec.supports_knowledge and knowledge is not None:
             estimator.fit(data, knowledge)
         else:
             estimator.fit(data)
-        total_runtime += time.perf_counter() - started
-        result: ClusteringResult = estimator.result_
+        return estimator.result_, time.perf_counter() - started
+
+    outcomes = (executor or SerialExecutor()).map(run_one, rngs)
+
+    best_objective = -math.inf
+    best_ari = 0.0
+    best_outliers = 0
+    total_runtime = 0.0
+    for result, runtime in outcomes:
+        total_runtime += runtime
         objective = result.objective
         if not np.isfinite(objective):
             # Algorithms without a comparable objective (HARP) fall back to

@@ -16,7 +16,7 @@ removed from the produced clusters before ARI is computed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ PROCLUS degrades quickly away from the true value, while SSPC stays flat
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.baselines import PROCLUS
 from repro.core.sspc import SSPC
@@ -54,8 +54,8 @@ def run_parameter_sensitivity(
     for l_value in proclus_l_values:
         spec = AlgorithmSpec(
             name="PROCLUS",
-            factory=lambda run_rng, l=l_value: PROCLUS(
-                n_clusters=n_clusters, avg_dimensions=float(l), random_state=run_rng
+            factory=lambda run_rng, l_param=l_value: PROCLUS(
+                n_clusters=n_clusters, avg_dimensions=float(l_param), random_state=run_rng
             ),
         )
         rows.append(

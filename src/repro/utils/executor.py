@@ -1,0 +1,116 @@
+"""Execution backends shared by the experiment harness and the benchmark runner.
+
+Three interchangeable executors implement the same two-method protocol:
+
+``map(fn, items)``
+    Apply ``fn`` to every item and return the results *in input order*
+    (the contract the experiment harness relies on for reproducible
+    best-of-N reductions).
+``imap_unordered(fn, items)``
+    Yield ``(index, result)`` pairs as they complete — the scenario
+    runner uses this to persist task records incrementally so an
+    interrupted run can resume from its store.
+
+The process executor prefers the ``fork`` start method (registered
+scenarios and closures survive into the workers); where ``fork`` is
+unavailable it falls back to ``spawn``, which still supports the
+built-in scenario registry because workers re-import it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """In-process, in-order execution — the default everywhere."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+class ThreadExecutor:
+    """Thread-pool execution for workloads dominated by GIL-releasing numpy."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % workers)
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        items = list(items)
+        if not items:
+            return
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+            for future in _as_completed(futures):
+                yield futures[future], future.result()
+
+
+def _as_completed(futures):
+    from concurrent.futures import as_completed
+
+    return as_completed(futures)
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+class ProcessExecutor:
+    """Multiprocessing fan-out used by the sharded scenario runner."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be at least 1, got %d" % workers)
+        self.workers = int(workers)
+        self._context = _preferred_context()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        with self._context.Pool(processes=min(self.workers, len(items))) as pool:
+            return pool.map(fn, items)
+
+    def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
+        items = list(items)
+        if not items:
+            return
+        payloads = [(fn, (index, item)) for index, item in enumerate(items)]
+        with self._context.Pool(processes=min(self.workers, len(items))) as pool:
+            for index, result in pool.imap_unordered(_call_indexed, payloads):
+                yield index, result
+
+
+def _call_indexed(payload):
+    fn, (index, item) = payload
+    return index, fn(item)
+
+
+def resolve_executor(workers: int):
+    """The executor for ``workers`` shards: serial for 1, processes otherwise."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

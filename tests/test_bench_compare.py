@@ -1,0 +1,179 @@
+"""Regression-gate semantics of ``repro-bench compare``."""
+
+import json
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.compare import baseline_from_summary, compare_run, load_baseline
+from repro.bench.scenario import MetricSpec, Scenario, TaskSpec
+
+
+def _noop_plan(config):
+    return [TaskSpec(name="all", params=dict(config))]
+
+
+def _noop_execute(params):
+    return {}
+
+
+def _noop_aggregate(payloads):
+    return {"metrics": {}, "table": "", "details": {}}
+
+
+@pytest.fixture
+def gate_scenario():
+    scenario = Scenario(
+        scenario_id="demo_gate",
+        figure="test",
+        title="compare-gate scenario",
+        group="robustness",
+        scale_configs={scale: {} for scale in ("smoke", "reduced", "paper")},
+        plan=_noop_plan,
+        execute=_noop_execute,
+        aggregate=_noop_aggregate,
+        metrics=(
+            MetricSpec("ari", "accuracy", "higher", 0.1),
+            MetricSpec("drop", "accuracy", "lower", 0.1),
+            MetricSpec("drift", "accuracy", "match", 0.1),
+            MetricSpec("speedup", "throughput", "higher", 0.2),
+            MetricSpec("seconds", "timing"),
+        ),
+    )
+    registry.register(scenario)
+    yield scenario
+    registry.unregister("demo_gate")
+
+
+def _summary(metrics, failures=None):
+    return {
+        "scale": "smoke",
+        "scenarios": {"demo_gate": {"metrics": metrics}},
+        "failures": failures or {},
+    }
+
+
+BASE = {"ari": 0.9, "drop": 0.2, "drift": 0.5, "speedup": 3.0, "seconds": 4.0}
+
+
+class TestGating:
+    def test_identical_run_passes(self, gate_scenario):
+        report = compare_run(_summary(dict(BASE)), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert report.ok
+        assert {v.status for v in report.verdicts} == {"ok", "info"}
+
+    def test_within_tolerance_passes(self, gate_scenario):
+        current = dict(BASE, ari=0.85, drop=0.25, drift=0.55, speedup=2.6)
+        report = compare_run(_summary(current), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert report.ok
+
+    def test_improvements_never_fail(self, gate_scenario):
+        current = dict(BASE, ari=1.0, drop=0.0, speedup=9.0)
+        report = compare_run(_summary(current), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert report.ok
+        assert any(v.status == "improved" for v in report.verdicts)
+
+    def test_accuracy_regression_fails(self, gate_scenario):
+        report = compare_run(_summary(dict(BASE, ari=0.7)), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert not report.ok
+        assert [v.metric for v in report.failures] == ["ari"]
+
+    def test_lower_direction_regression_fails(self, gate_scenario):
+        report = compare_run(_summary(dict(BASE, drop=0.5)), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert [v.metric for v in report.failures] == ["drop"]
+
+    def test_match_direction_fails_both_ways(self, gate_scenario):
+        for drift in (0.3, 0.7):
+            report = compare_run(_summary(dict(BASE, drift=drift)), _summary(dict(BASE)),
+                                 scenario_ids=["demo_gate"])
+            assert [v.metric for v in report.failures] == ["drift"]
+
+    def test_throughput_tolerance_is_relative(self, gate_scenario):
+        # 20% of 3.0 = 0.6 allowed: 2.5 passes, 2.3 fails.
+        ok = compare_run(_summary(dict(BASE, speedup=2.5)), _summary(dict(BASE)),
+                         scenario_ids=["demo_gate"])
+        assert ok.ok
+        bad = compare_run(_summary(dict(BASE, speedup=2.3)), _summary(dict(BASE)),
+                          scenario_ids=["demo_gate"])
+        assert [v.metric for v in bad.failures] == ["speedup"]
+
+    def test_timing_metrics_never_gate(self, gate_scenario):
+        report = compare_run(_summary(dict(BASE, seconds=400.0)), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert report.ok
+
+    def test_nan_metric_fails(self, gate_scenario):
+        report = compare_run(_summary(dict(BASE, ari=float("nan"))), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert [v.metric for v in report.failures] == ["ari"]
+        assert "NaN" in report.failures[0].note
+
+    def test_missing_metric_fails(self, gate_scenario):
+        current = {k: v for k, v in BASE.items() if k != "ari"}
+        report = compare_run(_summary(current), _summary(dict(BASE)),
+                             scenario_ids=["demo_gate"])
+        assert [v.metric for v in report.failures] == ["ari"]
+        assert report.failures[0].status == "missing"
+
+    def test_missing_scenario_is_an_error(self, gate_scenario):
+        summary = {"scale": "smoke", "scenarios": {}, "failures": {}}
+        report = compare_run(summary, _summary(dict(BASE)), scenario_ids=["demo_gate"])
+        assert not report.ok
+        assert report.errors
+
+    def test_run_failures_are_errors(self, gate_scenario):
+        summary = _summary(dict(BASE), failures={"demo_gate/all": "boom"})
+        report = compare_run(summary, _summary(dict(BASE)), scenario_ids=["demo_gate"])
+        assert not report.ok
+
+    def test_scenario_without_baseline_is_skipped(self, gate_scenario):
+        baseline = {"scale": "smoke", "scenarios": {}, "failures": {}}
+        report = compare_run(_summary(dict(BASE)), baseline, scenario_ids=["demo_gate"])
+        assert report.ok and not report.verdicts
+
+
+class TestExactMode:
+    def test_exact_requires_identical_accuracy_values(self, gate_scenario):
+        report = compare_run(
+            _summary(dict(BASE, ari=BASE["ari"] + 1e-9)),
+            _summary(dict(BASE)),
+            scenario_ids=["demo_gate"],
+            exact=True,
+        )
+        assert [v.metric for v in report.failures] == ["ari"]
+
+    def test_exact_exempts_throughput_and_timing(self, gate_scenario):
+        report = compare_run(
+            _summary(dict(BASE, speedup=1.0, seconds=99.0)),
+            _summary(dict(BASE)),
+            scenario_ids=["demo_gate"],
+            exact=True,
+        )
+        assert report.ok
+
+
+class TestBaselineFiles:
+    def test_round_trip_through_disk(self, gate_scenario, tmp_path):
+        baseline = baseline_from_summary(_summary(dict(BASE)))
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(baseline))
+        loaded = load_baseline(path)
+        report = compare_run(_summary(dict(BASE)), loaded, scenario_ids=["demo_gate"])
+        assert report.ok
+
+    def test_run_summary_accepted_as_baseline(self, gate_scenario, tmp_path):
+        path = tmp_path / "summary.json"
+        doc = dict(_summary(dict(BASE)), schema_version=1)
+        path.write_text(json.dumps(doc))
+        assert load_baseline(path)["scenarios"]["demo_gate"]["metrics"] == BASE
+
+    def test_non_baseline_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"speedup": 3.0}))
+        with pytest.raises(ValueError):
+            load_baseline(path)

@@ -1,0 +1,87 @@
+"""Registry completeness and scenario-declaration invariants."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.config import SCALES
+from repro.bench.scenario import MetricSpec, TaskSpec
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+class TestCompleteness:
+    def test_every_benchmark_script_has_a_registered_scenario(self):
+        """Each benchmarks/bench_*.py figure maps to a scenario id."""
+        if not BENCHMARKS_DIR.is_dir():
+            pytest.skip("benchmarks/ not present in this checkout")
+        expected = {
+            path.stem[len("bench_"):]
+            for path in BENCHMARKS_DIR.glob("bench_*.py")
+        }
+        assert expected, "no benchmark scripts found"
+        missing = expected - set(registry.ids())
+        assert not missing, "benchmark scripts without a registered scenario: %s" % sorted(missing)
+
+    def test_all_twelve_scenarios_registered(self):
+        assert len(registry.ids()) >= 12
+
+    def test_groups_cover_the_ci_matrix(self):
+        assert registry.groups() == ["accuracy", "knowledge", "perf", "robustness"]
+
+
+class TestScenarioDeclarations:
+    @pytest.fixture(params=sorted(registry.ids()))
+    def scenario(self, request):
+        return registry.get(request.param)
+
+    def test_declares_every_scale(self, scenario):
+        for scale in SCALES:
+            assert scenario.config_for(scale) is not None
+
+    def test_plans_nonempty_unique_json_safe_tasks(self, scenario):
+        for scale in SCALES:
+            tasks = scenario.build_tasks(scale)
+            assert tasks, "scenario %s plans no tasks at %s" % (scenario.scenario_id, scale)
+            names = [task.name for task in tasks]
+            assert len(set(names)) == len(names)
+            for task in tasks:
+                json.dumps(dict(task.params))  # must be JSON-serializable
+
+    def test_planning_is_deterministic(self, scenario):
+        first = scenario.build_tasks("smoke")
+        second = scenario.build_tasks("smoke")
+        assert [t.config_hash(scenario.scenario_id) for t in first] == [
+            t.config_hash(scenario.scenario_id) for t in second
+        ]
+
+    def test_declares_metric_specs(self, scenario):
+        assert scenario.metrics, "scenario %s declares no metrics" % scenario.scenario_id
+        for spec in scenario.metrics:
+            assert isinstance(spec, MetricSpec)
+
+
+class TestConfigHash:
+    def test_hash_changes_with_params(self):
+        base = TaskSpec(name="t", params={"a": 1, "seed": 3})
+        changed = TaskSpec(name="t", params={"a": 2, "seed": 3})
+        assert base.config_hash("s") != changed.config_hash("s")
+
+    def test_hash_stable_under_key_order(self):
+        first = TaskSpec(name="t", params={"a": 1, "b": 2})
+        second = TaskSpec(name="t", params={"b": 2, "a": 1})
+        assert first.config_hash("s") == second.config_hash("s")
+
+    def test_hash_depends_on_scenario_and_task_name(self):
+        task = TaskSpec(name="t", params={"a": 1})
+        other = TaskSpec(name="u", params={"a": 1})
+        assert task.config_hash("s1") != task.config_hash("s2")
+        assert task.config_hash("s1") != other.config_hash("s1")
+
+    def test_metric_spec_validation(self):
+        with pytest.raises(ValueError):
+            MetricSpec("x", kind="nope")
+        with pytest.raises(ValueError):
+            MetricSpec("x", direction="sideways")

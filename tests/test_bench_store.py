@@ -1,0 +1,110 @@
+"""Resumable result store: manifest, record keying, atomicity, summaries."""
+
+import json
+
+import pytest
+
+from repro.bench.scenario import SCHEMA_VERSION, ScenarioSummary, TaskSpec
+from repro.bench.store import RunStore, StoreError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "run")
+
+
+def _record(scenario_id, task, payload=None, seconds=0.01):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario_id": scenario_id,
+        "task": task.name,
+        "config_hash": task.config_hash(scenario_id),
+        "params": dict(task.params),
+        "seconds": seconds,
+        "payload": payload or {"value": 1.0},
+    }
+
+
+class TestManifest:
+    def test_write_and_load(self, store):
+        task = TaskSpec(name="t0", params={"seed": 1})
+        manifest = store.write_manifest(scale="smoke", scenarios={"demo": [task]})
+        loaded = store.load_manifest()
+        assert loaded == manifest
+        assert loaded["scale"] == "smoke"
+        assert loaded["scenarios"]["demo"]["tasks"]["t0"] == task.config_hash("demo")
+
+    def test_refresh_preserves_run_identity(self, store):
+        first = store.write_manifest(scale="smoke", scenarios={})
+        second = store.write_manifest(scale="smoke", scenarios={})
+        assert second["run_id"] == first["run_id"]
+        assert second["created_at"] == first["created_at"]
+
+    def test_scale_mismatch_refused(self, store):
+        store.write_manifest(scale="smoke", scenarios={})
+        with pytest.raises(StoreError):
+            store.write_manifest(scale="reduced", scenarios={})
+
+
+class TestRecords:
+    def test_round_trip(self, store):
+        task = TaskSpec(name="t0", params={"seed": 1})
+        store.write_record(_record("demo", task))
+        loaded = store.load_record("demo", task)
+        assert loaded is not None
+        assert loaded["payload"] == {"value": 1.0}
+
+    def test_missing_record_is_none(self, store):
+        assert store.load_record("demo", TaskSpec(name="t0", params={})) is None
+
+    def test_config_change_invalidates(self, store):
+        task = TaskSpec(name="t0", params={"seed": 1})
+        store.write_record(_record("demo", task))
+        changed = TaskSpec(name="t0", params={"seed": 2})
+        assert store.load_record("demo", changed) is None
+        # The original key still resolves.
+        assert store.load_record("demo", task) is not None
+
+    def test_schema_bump_invalidates(self, store):
+        task = TaskSpec(name="t0", params={"seed": 1})
+        record = _record("demo", task)
+        record["schema_version"] = SCHEMA_VERSION + 1
+        store.write_record(record)
+        assert store.load_record("demo", task) is None
+
+    def test_truncated_record_treated_as_absent(self, store):
+        task = TaskSpec(name="t0", params={"seed": 1})
+        path = store.write_record(_record("demo", task))
+        path.write_text('{"schema_version": 1, "trunca')  # simulated hard kill
+        assert store.load_record("demo", task) is None
+
+
+class TestSummary:
+    def test_write_merges_and_loads(self, store):
+        store.write_manifest(scale="smoke", scenarios={})
+        summary_a = ScenarioSummary(scenario_id="a", scale="smoke", metrics={"m": 1.0})
+        store.write_summary(scale="smoke", summaries={"a": summary_a})
+        summary_b = ScenarioSummary(scenario_id="b", scale="smoke", metrics={"m": 2.0})
+        doc = store.write_summary(scale="smoke", summaries={"b": summary_b})
+        assert set(doc["scenarios"]) == {"a", "b"}
+        loaded = store.load_summary()
+        assert loaded["scenarios"]["a"]["metrics"]["m"] == 1.0
+        assert loaded["schema_version"] == SCHEMA_VERSION
+
+    def test_other_scenarios_failures_survive_selective_runs(self, store):
+        """A later selective run must not wash out another scenario's failure."""
+        store.write_summary(scale="smoke", summaries={}, failures={"a/task-0": "boom"})
+        summary_b = ScenarioSummary(scenario_id="b", scale="smoke", metrics={"m": 2.0})
+        doc = store.write_summary(scale="smoke", summaries={"b": summary_b})
+        assert doc["failures"] == {"a/task-0": "boom"}
+
+    def test_failures_cleared_once_scenario_summarizes(self, store):
+        store.write_summary(scale="smoke", summaries={}, failures={"a/task-0": "boom"})
+        summary_a = ScenarioSummary(scenario_id="a", scale="smoke", metrics={"m": 1.0})
+        doc = store.write_summary(scale="smoke", summaries={"a": summary_a})
+        assert doc["failures"] == {}
+
+    def test_summary_is_valid_json_on_disk(self, store):
+        store.write_summary(scale="smoke", summaries={})
+        with open(store.summary_path) as handle:
+            assert json.load(handle)["scenarios"] == {}

@@ -1,7 +1,6 @@
 """End-to-end integration tests exercising the full public API surface."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro import SSPC, Knowledge

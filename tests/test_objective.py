@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.objective import ClusterStatistics, ObjectiveFunction
+from repro.core.objective import ObjectiveFunction
 from repro.core.thresholds import VarianceRatioThreshold
 
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dimension_selection import select_dimensions
-from repro.core.model import ClusteringResult, ProjectedCluster
+from repro.core.model import ClusteringResult
 from repro.core.objective import ObjectiveFunction
 from repro.core.sspc import SSPC
 from repro.core.thresholds import ChiSquareThreshold, VarianceRatioThreshold
@@ -95,7 +95,6 @@ class TestAriInvariant:
     @given(seed=st.integers(0, 5000))
     def test_merging_true_clusters_lowers_ari(self, seed):
         """Collapsing two real clusters into one cannot raise the ARI above 1."""
-        rng = np.random.default_rng(seed)
         true = np.repeat(np.arange(3), 10)
         merged = true.copy()
         merged[merged == 2] = 1

@@ -7,7 +7,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.model import ClusteringResult, ProjectedCluster
+from repro.core.model import ClusteringResult
 from repro.core.thresholds import ChiSquareThreshold, VarianceRatioThreshold
 from repro.serving.artifact import (
     ARTIFACT_FORMAT,
