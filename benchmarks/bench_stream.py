@@ -1,0 +1,17 @@
+"""Thin wrapper: the streaming benchmark lives in the library.
+
+The measurement core is :mod:`repro.bench.perf_stream`, shared with the
+``repro-bench`` orchestrator (scenario ``stream``).  Run either::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke
+    PYTHONPATH=src python -m repro.bench run --suite smoke --scenario stream
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.perf_stream import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,10 +2,13 @@
 
 Generates a synthetic dataset following the paper's data model (Section 3),
 runs SSPC without any domain knowledge, and reports how well the produced
-clusters and selected dimensions match the ground truth.  The last section
-shows the serving lifecycle: persist the fitted model as an artifact,
-reload it (as a fresh process would), and assign new out-of-sample points
-to the learned projected clusters.
+clusters and selected dimensions match the ground truth.  The second
+section shows the serving lifecycle: persist the fitted model as an
+artifact, reload it (as a fresh process would), and assign new
+out-of-sample points to the learned projected clusters.  The last section
+shows the streaming lifecycle: generate a drifting stream, keep the model
+current with :class:`~repro.stream.StreamingSSPC`, checkpoint mid-stream
+and resume exactly where it stopped.
 
 Run with:  python examples/quickstart.py
 """
@@ -110,6 +113,57 @@ def main() -> None:
         index.partial_update(new_points, labels)
         print("after partial_update the served cluster sizes are %s"
               % index.cluster_sizes().tolist())
+
+    # ------------------------------------------------------------------ #
+    # Streaming: keep a model current over a drifting, unbounded stream.
+    # ------------------------------------------------------------------ #
+    from repro.data.streams import ClusterBirth, DriftingStreamGenerator, MeanShift
+    from repro.evaluation import adjusted_rand_index
+    from repro.stream import StreamConfig, StreamingSSPC, load_checkpoint
+
+    # The stream drifts mid-flight: cluster 0's means move at batch 8 and a
+    # brand-new cluster is born at batch 12.
+    stream = DriftingStreamGenerator(
+        n_dimensions=40,
+        n_clusters=3,
+        avg_cluster_dimensionality=6,
+        outlier_fraction=0.05,
+        events=[MeanShift(batch=8, cluster=0, magnitude=0.3), ClusterBirth(batch=12)],
+        random_state=7,
+    )
+    stream_model = SSPC(n_clusters=3, m=0.5, max_iterations=20, random_state=3)
+    stream_model.fit(stream.warmup(900).data)
+
+    engine = StreamingSSPC(
+        stream_model.to_artifact(),
+        config=StreamConfig(seed=1, lifecycle_every=4, drift_check_every=2,
+                            spawn_min_points=20),
+    )
+    print()
+    print("streaming 16 batches over a drifting stream ...")
+    for batch in stream.batches(16, batch_size=150):
+        result = engine.process_batch(batch.data)
+        for event in result.events:
+            print("  batch %d: %s cluster %d" % (batch.index, event.kind, event.cluster_id))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_dir = Path(tmp) / "stream-checkpoint"
+        engine.checkpoint(checkpoint_dir)
+        # A fresh process resumes mid-stream: batches are a pure function of
+        # (seed, index), so the continuation is exactly what an
+        # uninterrupted run would have produced.
+        resumed = load_checkpoint(checkpoint_dir)
+        aris = []
+        for batch in stream.batches(8, batch_size=150, start=resumed.n_batches):
+            result = resumed.process_batch(batch.data)
+            clustered = batch.labels >= 0
+            aris.append(adjusted_rand_index(batch.labels[clustered],
+                                            result.labels[clustered]))
+        print("resumed at batch 16; mean ARI over 8 post-drift batches: %.3f"
+              % float(np.mean(aris)))
+        print("live clusters: %d (stable ids %s), %d spawned, %d drift refreshes"
+              % (resumed.n_clusters, resumed.cluster_ids,
+                 resumed.n_spawned, resumed.n_drift_refreshes))
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ Clustering" (Yip, Cheung, Ng; ICDE 2005):
   out-of-sample inference: save a fitted model, reload it in another
   process, and assign batches of unseen points to the learned projected
   clusters (``python -m repro.serve`` for the command line).
+* :mod:`repro.stream` — online projected clustering over unbounded
+  drifting streams: micro-batch folding through the serving index,
+  cluster spawn/retire lifecycle, per-cluster drift adaptation and
+  resumable checkpoints (``python -m repro.stream`` for the command
+  line).
 
 Quickstart
 ----------
@@ -38,8 +43,9 @@ from repro.core.model import OUTLIER_LABEL, ClusteringResult, ProjectedCluster
 from repro.core.sspc import SSPC
 from repro.semisupervision.knowledge import Knowledge
 from repro.serving import ModelArtifact, ProjectedClusterIndex, load_artifact
+from repro.stream import StreamConfig, StreamingSSPC
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SSPC",
@@ -50,5 +56,7 @@ __all__ = [
     "ModelArtifact",
     "ProjectedClusterIndex",
     "load_artifact",
+    "StreamConfig",
+    "StreamingSSPC",
     "__version__",
 ]

@@ -18,9 +18,11 @@ Run as a script::
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full (n=5000, d=100, k=10)
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # quick CI smoke run
 
-Emits ``BENCH_hotpath.json`` with the per-iteration timings, the
-measured speedup and the statistics-pass counts of both arms.  The
-script exits non-zero if the two arms ever disagree on labels, selected
+Reports the per-iteration timings, the measured speedup and the
+statistics-pass counts of both arms (``--output`` writes them as JSON;
+the committed baselines live in ``BENCH_smoke.json`` /
+``BENCH_reduced.json`` through the ``repro-bench`` gate).  The script
+exits non-zero if the two arms ever disagree on labels, selected
 dimensions or ``phi`` — the benchmark doubles as an equivalence check.
 """
 
@@ -234,7 +236,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=13)
     parser.add_argument("--smoke", action="store_true",
                         help="small configuration for CI smoke runs")
-    parser.add_argument("--output", default="BENCH_hotpath.json")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: print only; "
+                             "committed baselines live in BENCH_smoke.json / "
+                             "BENCH_reduced.json via repro-bench)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero when the speedup falls below this")
     args = parser.parse_args(argv)
@@ -251,8 +256,9 @@ def main(argv=None) -> int:
         # second.
 
     report = run_benchmark(args)
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
 
     print("SSPC hot-path micro-benchmark (n=%d, d=%d, k=%d)" % (
         args.n_objects, args.n_dimensions, args.n_clusters))
@@ -264,7 +270,8 @@ def main(argv=None) -> int:
     print("  speedup   : %.2fx   stat-pass reduction: %.2fx" % (
         report["speedup"], report["stat_pass_reduction"]))
     print("  results identical: %s" % report["results_identical"])
-    print("  report written to %s" % args.output)
+    if args.output:
+        print("  report written to %s" % args.output)
 
     if not report["results_identical"]:
         print("ERROR: naive and optimized paths diverged", file=sys.stderr)

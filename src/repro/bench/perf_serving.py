@@ -19,10 +19,12 @@ Run as a script::
     PYTHONPATH=src python benchmarks/bench_serving.py            # full (d=100, k=10)
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke    # quick CI smoke run
 
-Emits ``BENCH_serving.json``.  ``--min-points-per-sec`` turns the
-throughput number into a gate as well (the acceptance bar is 10k
-points/sec at d=100, k=10; the batched numpy kernel measures orders of
-magnitude above that).
+``--output`` writes the report as JSON (the committed baselines live in
+``BENCH_smoke.json`` / ``BENCH_reduced.json`` through the
+``repro-bench`` gate).  ``--min-points-per-sec`` turns the throughput
+number into a gate as well (the acceptance bar is 10k points/sec at
+d=100, k=10; the batched numpy kernel measures orders of magnitude
+above that).
 """
 
 from __future__ import annotations
@@ -163,7 +165,10 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="small configuration for CI smoke runs "
                              "(keeps d and k at the gate configuration)")
-    parser.add_argument("--output", default="BENCH_serving.json")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: print only; "
+                             "committed baselines live in BENCH_smoke.json / "
+                             "BENCH_reduced.json via repro-bench)")
     parser.add_argument("--min-points-per-sec", type=float, default=None,
                         help="exit non-zero when batch throughput falls below this")
     args = parser.parse_args(argv)
@@ -180,8 +185,9 @@ def main(argv=None) -> int:
         args.fit_iterations = min(args.fit_iterations, 3)
 
     report = run_benchmark(args)
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
 
     print("SSPC serving benchmark (d=%d, k=%d, %d queries)" % (
         args.n_dimensions, args.n_clusters, args.n_queries))
@@ -196,7 +202,8 @@ def main(argv=None) -> int:
         report["queries_marked_outlier"], args.n_queries))
     print("  batch == single      : %s" % report["batch_equals_single"])
     print("  round trip identical : %s" % report["roundtrip_predictions_identical"])
-    print("  report written to %s" % args.output)
+    if args.output:
+        print("  report written to %s" % args.output)
 
     if not report["batch_equals_single"]:
         print("ERROR: batch and single-point paths diverged", file=sys.stderr)

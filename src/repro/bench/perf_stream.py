@@ -1,0 +1,279 @@
+"""Benchmark of the streaming subsystem: sustained throughput + drift recovery.
+
+Measures, on a drifting synthetic stream (a mean shift of one cluster
+plus a cluster birth at ``--drift-batch``):
+
+* **sustained throughput** — points/second through
+  :meth:`StreamingSSPC.process_batch` over the whole stream (assignment,
+  gating, exact folds, drift checks and lifecycle sweeps included);
+* **post-drift accuracy recovery** — mean batch ARI over the final
+  evaluation window, against ground truth, compared with a **full-refit
+  oracle**: SSPC refitted from scratch on the freshest points and scored
+  on the same evaluation batches;
+* **amortized cost ratio** — the per-point cost of the oracle strategy
+  (one full refit amortized over the points of its refresh interval)
+  divided by the engine's per-point cost.  The acceptance bar is 10x:
+  streaming must be at least an order of magnitude cheaper per point
+  than staying current by refitting;
+* **drift-free control** — a short stationary stream driven through the
+  engine *and* through a bare
+  :class:`~repro.serving.index.ProjectedClusterIndex`: per-cluster
+  statistics must match bit for bit and no adaptation event may fire
+  (the engine adds bookkeeping, never arithmetic).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py            # reduced scale
+    PYTHONPATH=src python benchmarks/bench_stream.py --smoke    # quick CI smoke run
+
+Everything is seeded, so the report is bit-identical across runs and
+machines up to floating-point environment differences — which is what
+lets the ``stream`` scenario gate its accuracy metrics absolutely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core.sspc import SSPC
+from repro.data.streams import ClusterBirth, DriftingStreamGenerator, MeanShift
+from repro.evaluation import adjusted_rand_index
+from repro.serving.index import ProjectedClusterIndex
+from repro.stream.engine import StreamConfig, StreamingSSPC
+
+
+def build_stream(args: argparse.Namespace, *, drifting: bool) -> DriftingStreamGenerator:
+    """The benchmark stream: optional mean shift + birth at ``drift_batch``."""
+    events = ()
+    if drifting:
+        events = (
+            MeanShift(batch=args.drift_batch, cluster=0, magnitude=0.35),
+            ClusterBirth(batch=args.drift_batch),
+        )
+    return DriftingStreamGenerator(
+        n_dimensions=args.n_dimensions,
+        n_clusters=args.n_clusters,
+        avg_cluster_dimensionality=args.cluster_dim,
+        outlier_fraction=0.05,
+        events=events,
+        random_state=args.seed,
+    )
+
+
+def fit_initial_model(stream: DriftingStreamGenerator, args: argparse.Namespace) -> SSPC:
+    """Fit the pre-stream model on a warmup block."""
+    warmup = stream.warmup(args.warmup)
+    return SSPC(
+        n_clusters=args.n_clusters,
+        m=0.5,
+        max_iterations=args.fit_iterations,
+        random_state=args.seed,
+    ).fit(warmup.data)
+
+
+def engine_config(args: argparse.Namespace) -> StreamConfig:
+    return StreamConfig(
+        seed=args.seed,
+        lifecycle_every=4,
+        drift_check_every=2,
+        spawn_min_points=max(args.batch_size // 8, 16),
+    )
+
+
+def _batch_ari(batch, labels: np.ndarray) -> float:
+    clustered = batch.labels >= 0
+    if not np.any(clustered):
+        return float("nan")
+    return adjusted_rand_index(batch.labels[clustered], labels[clustered])
+
+
+def run_control(model: SSPC, args: argparse.Namespace) -> bool:
+    """Drift-free control: engine statistics must equal bare-index ones."""
+    stream = build_stream(args, drifting=False)
+    engine = StreamingSSPC(model.to_artifact(), config=engine_config(args))
+    index = ProjectedClusterIndex(model.to_artifact())
+    for batch in stream.batches(args.control_batches, args.batch_size):
+        engine.process_batch(batch.data)
+        index.partial_update(batch.data)
+    if engine.n_spawned or engine.n_retired or engine.n_drift_refreshes:
+        return False
+    for position in range(index.n_clusters):
+        ours = engine.index.cluster_statistics(position)
+        theirs = index.cluster_statistics(position)
+        if ours.size != theirs.size:
+            return False
+        if not (
+            np.array_equal(ours.mean, theirs.mean)
+            and np.array_equal(ours.variance, theirs.variance)
+            and np.array_equal(ours.median_selected, theirs.median_selected)
+        ):
+            return False
+    return True
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    stream = build_stream(args, drifting=True)
+    model = fit_initial_model(stream, args)
+    control_bit_identical = run_control(model, args)
+
+    engine = StreamingSSPC(model.to_artifact(), config=engine_config(args))
+    batches = list(stream.batches(args.n_batches, args.batch_size))
+    aris = []
+    stream_seconds = 0.0
+    for batch in batches:
+        start = time.perf_counter()
+        result = engine.process_batch(batch.data)
+        stream_seconds += time.perf_counter() - start
+        aris.append(_batch_ari(batch, result.labels))
+    total_points = args.n_batches * args.batch_size
+    points_per_sec = total_points / stream_seconds if stream_seconds > 0 else float("inf")
+
+    eval_start = args.n_batches - args.eval_batches
+    pre_window = [a for a in aris[1:args.drift_batch] if not np.isnan(a)]
+    post_window = [a for a in aris[eval_start:] if not np.isnan(a)]
+    pre_drift_ari = float(np.mean(pre_window)) if pre_window else float("nan")
+    post_drift_ari = float(np.mean(post_window)) if post_window else float("nan")
+
+    # ---- full-refit oracle ----------------------------------------------
+    # The oracle stays current by refitting from scratch on the freshest
+    # points every `oracle_refit_every` batches; it trains on the stream
+    # slice just before the evaluation window and is scored on the same
+    # evaluation batches the engine is.
+    train_rows = []
+    position = eval_start - 1
+    while position >= 0 and sum(block.shape[0] for block in train_rows) < args.oracle_window:
+        train_rows.append(batches[position].data)
+        position -= 1
+    oracle_train = np.concatenate(list(reversed(train_rows)), axis=0)[-args.oracle_window:]
+    oracle_k = len(stream.active_cluster_ids(eval_start))
+    refit_start = time.perf_counter()
+    oracle = SSPC(
+        n_clusters=oracle_k,
+        m=0.5,
+        max_iterations=args.fit_iterations,
+        random_state=args.seed,
+    ).fit(oracle_train)
+    refit_seconds = time.perf_counter() - refit_start
+    oracle_index = ProjectedClusterIndex(oracle.to_artifact())
+    oracle_window = [
+        _batch_ari(batch, oracle_index.predict(batch.data)) for batch in batches[eval_start:]
+    ]
+    oracle_window = [a for a in oracle_window if not np.isnan(a)]
+    oracle_post_ari = float(np.mean(oracle_window)) if oracle_window else float("nan")
+    recovery_gap = max(0.0, oracle_post_ari - post_drift_ari)
+
+    refit_points = args.oracle_refit_every * args.batch_size
+    refit_cost_per_point = refit_seconds / refit_points
+    stream_cost_per_point = stream_seconds / total_points
+    amortized_speedup = (
+        refit_cost_per_point / stream_cost_per_point
+        if stream_cost_per_point > 0
+        else float("inf")
+    )
+
+    return {
+        "config": {
+            "n_dimensions": args.n_dimensions,
+            "n_clusters": args.n_clusters,
+            "cluster_dim": args.cluster_dim,
+            "batch_size": args.batch_size,
+            "n_batches": args.n_batches,
+            "drift_batch": args.drift_batch,
+            "eval_batches": args.eval_batches,
+            "warmup": args.warmup,
+            "fit_iterations": args.fit_iterations,
+            "oracle_window": args.oracle_window,
+            "oracle_refit_every": args.oracle_refit_every,
+            "control_batches": args.control_batches,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "control_bit_identical": bool(control_bit_identical),
+        "pre_drift_ari": pre_drift_ari,
+        "post_drift_ari": post_drift_ari,
+        "oracle_post_ari": oracle_post_ari,
+        "recovery_gap_vs_oracle": float(recovery_gap),
+        "points_per_sec": float(points_per_sec),
+        "stream_seconds": float(stream_seconds),
+        "refit_seconds": float(refit_seconds),
+        "amortized_speedup_over_refit": float(amortized_speedup),
+        "speedup_floor_ok": bool(amortized_speedup >= 10.0),
+        "n_spawned": int(engine.n_spawned),
+        "n_retired": int(engine.n_retired),
+        "n_drift_refreshes": int(engine.n_drift_refreshes),
+        "n_clusters_final": int(engine.n_clusters),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-dimensions", type=int, default=60)
+    parser.add_argument("--n-clusters", type=int, default=4)
+    parser.add_argument("--cluster-dim", type=int, default=8,
+                        help="average relevant dimensions per cluster")
+    parser.add_argument("--batch-size", type=int, default=250)
+    parser.add_argument("--n-batches", type=int, default=48)
+    parser.add_argument("--drift-batch", type=int, default=20,
+                        help="batch index of the mean shift + cluster birth")
+    parser.add_argument("--eval-batches", type=int, default=10,
+                        help="final batches forming the recovery evaluation window")
+    parser.add_argument("--warmup", type=int, default=1500,
+                        help="pre-stream points the initial model is fitted on")
+    parser.add_argument("--fit-iterations", type=int, default=12)
+    parser.add_argument("--oracle-window", type=int, default=1500,
+                        help="freshest points the oracle refit trains on")
+    parser.add_argument("--oracle-refit-every", type=int, default=4,
+                        help="batches between oracle refits (amortization interval; "
+                             "matches the engine's drift-check cadence)")
+    parser.add_argument("--control-batches", type=int, default=10,
+                        help="stationary batches of the bit-identity control")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: print only)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n_dimensions = min(args.n_dimensions, 40)
+        args.n_clusters = min(args.n_clusters, 3)
+        args.cluster_dim = min(args.cluster_dim, 6)
+        args.batch_size = min(args.batch_size, 150)
+        args.n_batches = min(args.n_batches, 30)
+        args.drift_batch = min(args.drift_batch, 10)
+        args.eval_batches = min(args.eval_batches, 6)
+        args.warmup = min(args.warmup, 900)
+        args.fit_iterations = min(args.fit_iterations, 10)
+        args.oracle_window = min(args.oracle_window, 900)
+        args.control_batches = min(args.control_batches, 8)
+    if args.drift_batch >= args.n_batches - args.eval_batches:
+        parser.error("--drift-batch must leave room for the evaluation window")
+
+    report = run_benchmark(args)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+
+    print("SSPC streaming benchmark (d=%d, k=%d, %d batches of %d)" % (
+        args.n_dimensions, args.n_clusters, args.n_batches, args.batch_size))
+    print("  sustained throughput : %.0f points/s" % report["points_per_sec"])
+    print("  pre-drift ARI        : %.3f" % report["pre_drift_ari"])
+    print("  post-drift ARI       : %.3f (oracle %.3f, gap %.3f)" % (
+        report["post_drift_ari"], report["oracle_post_ari"],
+        report["recovery_gap_vs_oracle"]))
+    print("  amortized vs refit   : %.1fx cheaper per point (floor 10x: %s)" % (
+        report["amortized_speedup_over_refit"], report["speedup_floor_ok"]))
+    print("  adaptation           : %d spawned, %d retired, %d drift refreshes" % (
+        report["n_spawned"], report["n_retired"], report["n_drift_refreshes"]))
+    print("  drift-free control   : bit-identical = %s" % report["control_bit_identical"])
+    if args.output:
+        print("  report written to %s" % args.output)
+    return 0 if report["control_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

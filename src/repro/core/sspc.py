@@ -108,6 +108,14 @@ class SSPC:
         When ``False`` every object is forced into its best cluster even
         if the score gain is negative (useful on outlier-free data and
         for the ablation benches).
+    stats_cache_max_entries:
+        Bound on the per-fit :class:`ClusterStatsCache` (``None`` keeps
+        the cache's own default).  The SSPC loop itself only needs the
+        current iteration's ``k`` member sets plus the best-so-far
+        snapshot, but callers that run many clusters or inspect
+        ``stats_cache_`` afterwards (streaming re-selection, the
+        baselines sharing the workspace) can raise it; ``0`` disables
+        caching entirely.
     random_state:
         Seed or generator controlling medoid draws and grid sampling.
 
@@ -139,6 +147,7 @@ class SSPC:
         seed_selection_p: float = 0.01,
         public_group_factor: int = 3,
         allow_outliers: bool = True,
+        stats_cache_max_entries: Optional[int] = None,
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=1)
@@ -161,6 +170,9 @@ class SSPC:
             public_group_factor, name="public_group_factor", minimum=1
         )
         self.allow_outliers = bool(allow_outliers)
+        if stats_cache_max_entries is not None and stats_cache_max_entries < 0:
+            raise ValueError("stats_cache_max_entries must be non-negative or None")
+        self.stats_cache_max_entries = stats_cache_max_entries
         self.random_state = random_state
 
         self.result_: Optional[ClusteringResult] = None
@@ -210,7 +222,12 @@ class SSPC:
         # The per-iteration workspace: one statistics pass per distinct
         # member set, shared by SelectDim, the phi evaluation, the
         # representative replacement and the seed-group builder.
-        workspace = self._stats_cache_factory(data)
+        if self.stats_cache_max_entries is None:
+            workspace = self._stats_cache_factory(data)
+        else:
+            workspace = self._stats_cache_factory(
+                data, max_entries=self.stats_cache_max_entries
+            )
         objective = ObjectiveFunction(data, threshold, stats_cache=workspace)
         self.stats_cache_ = workspace
         self.threshold_ = threshold
@@ -386,6 +403,8 @@ class SSPC:
             "public_group_factor": self.public_group_factor,
             "allow_outliers": self.allow_outliers,
         }
+        if self.stats_cache_max_entries is not None:
+            params["stats_cache_max_entries"] = self.stats_cache_max_entries
         params.update({k: v for k, v in self._threshold_args.items() if v is not None})
         return params
 

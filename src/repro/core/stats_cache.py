@@ -140,6 +140,13 @@ class ClusterStatsCache:
         Lookup counters.  ``misses`` equals the number of full-data
         statistics passes actually performed, so consumers (tests, the
         hot-path benchmark) can assert the single-pass invariant.
+    evictions:
+        Entries dropped by the LRU bound.  A non-trivial eviction count
+        with a low :attr:`hit_rate` means the working set outgrew
+        ``max_entries`` (streaming membership churn does this) and the
+        bound should be raised by whoever constructed the cache —
+        ``SSPC(stats_cache_max_entries=...)`` plumbs it through for the
+        fit path.
     """
 
     def __init__(self, data: np.ndarray, *, max_entries: int = 128) -> None:
@@ -158,6 +165,7 @@ class ClusterStatsCache:
         self._global_variance: Optional[np.ndarray] = None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -185,6 +193,7 @@ class ClusterStatsCache:
         self._store[key] = stats
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+            self.evictions += 1
         return stats
 
     def median(self, members: Sequence[int]) -> np.ndarray:
@@ -219,6 +228,7 @@ class ClusterStatsCache:
         self._mean_store[key] = mean
         while len(self._mean_store) > self.max_entries:
             self._mean_store.popitem(last=False)
+            self.evictions += 1
         return mean
 
     @property
@@ -257,6 +267,22 @@ class ClusterStatsCache:
         """Number of member sets currently stored."""
         return len(self._store)
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        """Snapshot of the lookup counters (diagnostics / bench payloads)."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "entries": int(len(self._store)),
+            "hit_rate": float(self.hit_rate),
+        }
+
     def clear(self) -> None:
         """Drop every stored entry and reset the counters."""
         self._store.clear()
@@ -265,10 +291,12 @@ class ClusterStatsCache:
         self._global_variance = None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __repr__(self) -> str:
-        return "ClusterStatsCache(entries=%d, hits=%d, misses=%d)" % (
+        return "ClusterStatsCache(entries=%d, hits=%d, misses=%d, evictions=%d)" % (
             len(self._store),
             self.hits,
             self.misses,
+            self.evictions,
         )

@@ -10,6 +10,10 @@ chosen per experiment.  This package provides:
   variance range, cluster-size balance and outliers.
 * :func:`make_multigroup_dataset` — the Section 5.4 construction where
   two independent groupings are concatenated dimension-wise.
+* :class:`DriftingStreamGenerator` — the streaming extension of the
+  Section 3 model: an unbounded micro-batch stream whose generating
+  populations drift under a declarative event schedule (concept shift,
+  cluster birth/death, dimension drift).
 * Expression-like dataset builders and simple CSV persistence used by the
   examples.
 * Column standardisation / normalisation helpers.
@@ -27,8 +31,24 @@ from repro.data.loaders import (
     save_csv_dataset,
 )
 from repro.data.preprocessing import min_max_normalize, standardize
+from repro.data.streams import (
+    ClusterBirth,
+    ClusterDeath,
+    DimensionDrift,
+    DriftingStreamGenerator,
+    MeanShift,
+    StreamBatch,
+    make_drift_schedule,
+)
 
 __all__ = [
+    "ClusterBirth",
+    "ClusterDeath",
+    "DimensionDrift",
+    "DriftingStreamGenerator",
+    "MeanShift",
+    "StreamBatch",
+    "make_drift_schedule",
     "SyntheticDataGenerator",
     "SyntheticDataset",
     "make_projected_clusters",

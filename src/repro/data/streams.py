@@ -1,0 +1,442 @@
+"""Drift-capable stream generators for the streaming subsystem.
+
+The paper's data model (Section 3, :mod:`repro.data.generator`) is
+static: every cluster's local Gaussian populations are drawn once and
+the whole dataset is sampled from them.  Streaming workloads violate
+exactly that assumption — the cluster structure *drifts* while the
+system is serving traffic.  :class:`DriftingStreamGenerator` extends the
+paper's generative model along the time axis: an unbounded sequence of
+micro-batches is drawn from the same uniform-background /
+local-Gaussian construction, but a declarative *event schedule* mutates
+the generating populations at declared batch indices:
+
+* :class:`MeanShift` — concept shift: a cluster's local means move by a
+  fraction of the global value range (the cluster is still "the same"
+  entity, in a new location);
+* :class:`DimensionDrift` — a cluster trades some of its relevant
+  dimensions for fresh ones (the projected subspace itself rotates);
+* :class:`ClusterBirth` — a brand-new cluster (new stable id) starts
+  emitting points;
+* :class:`ClusterDeath` — a cluster stops emitting points.
+
+Determinism and resumability: every batch is generated from an RNG
+seeded by ``(seed, batch_index)`` and the event timeline is resolved
+eagerly at construction from ``(seed, event_position)``, so batch ``i``
+has identical content no matter in which order — or in which process —
+batches are drawn.  A checkpointed stream consumer can therefore resume
+mid-stream by regenerating batches from its recorded position, the same
+way :mod:`repro.bench`'s store resumes interrupted runs.
+
+Ground-truth labels use *stable cluster ids*: ids are never reused
+after a death and a birth always takes the next fresh id, so accuracy
+can be tracked across lifecycle events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "MeanShift",
+    "DimensionDrift",
+    "ClusterBirth",
+    "ClusterDeath",
+    "DriftEvent",
+    "StreamBatch",
+    "DriftingStreamGenerator",
+    "make_drift_schedule",
+]
+
+
+# ---------------------------------------------------------------------- #
+# event schedule
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MeanShift:
+    """Concept shift: move ``cluster``'s local means at batch ``batch``.
+
+    Every relevant dimension's mean moves by ``magnitude`` times the
+    global value range, in a per-dimension random direction (the new
+    mean is kept inside the background range so the cluster stays
+    non-trivial to detect).
+    """
+
+    batch: int
+    cluster: int
+    magnitude: float = 0.25
+
+
+@dataclass(frozen=True)
+class DimensionDrift:
+    """Subspace drift: ``cluster`` swaps ``n_dimensions`` relevant dims."""
+
+    batch: int
+    cluster: int
+    n_dimensions: int = 2
+
+
+@dataclass(frozen=True)
+class ClusterBirth:
+    """A new cluster (fresh stable id) starts emitting at batch ``batch``."""
+
+    batch: int
+    dimensionality: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClusterDeath:
+    """``cluster`` stops emitting points from batch ``batch`` on."""
+
+    batch: int
+    cluster: int
+
+
+DriftEvent = Union[MeanShift, DimensionDrift, ClusterBirth, ClusterDeath]
+
+
+@dataclass
+class StreamBatch:
+    """One micro-batch of the stream plus its ground truth.
+
+    Attributes
+    ----------
+    index:
+        Position of the batch in the stream (0-based).
+    data:
+        The ``(batch_size, d)`` point block.
+    labels:
+        Ground-truth stable cluster ids (``-1`` marks background/outlier
+        rows).
+    active_clusters:
+        Stable ids of the clusters emitting points in this batch.
+    events:
+        The schedule events that became effective *at* this batch index.
+    """
+
+    index: int
+    data: np.ndarray
+    labels: np.ndarray
+    active_clusters: Tuple[int, ...] = ()
+    events: Tuple[DriftEvent, ...] = ()
+
+
+@dataclass
+class _ClusterPopulation:
+    """Generating populations of one stream cluster (mutable over time)."""
+
+    cluster_id: int
+    dimensions: np.ndarray
+    means: Dict[int, float]
+    stds: Dict[int, float]
+    alive: bool = True
+
+    def copy(self) -> "_ClusterPopulation":
+        return _ClusterPopulation(
+            cluster_id=self.cluster_id,
+            dimensions=self.dimensions.copy(),
+            means=dict(self.means),
+            stds=dict(self.stds),
+            alive=self.alive,
+        )
+
+
+@dataclass
+class DriftingStreamGenerator:
+    """Unbounded micro-batch stream over a drifting projected-cluster model.
+
+    Parameters
+    ----------
+    n_dimensions, n_clusters, avg_cluster_dimensionality:
+        Shape of the initial (pre-drift) population, mirroring
+        :class:`~repro.data.generator.SyntheticDataGenerator`.
+    value_range, local_std_fraction:
+        The paper's global-population range and local-spread bounds.
+    outlier_fraction:
+        Fraction of each batch drawn entirely from the background.
+    events:
+        The drift schedule; events apply in ``(batch, position)`` order.
+    random_state:
+        Integer seed of the whole stream (batches and the event
+        timeline both derive from it deterministically).
+    """
+
+    n_dimensions: int = 60
+    n_clusters: int = 4
+    avg_cluster_dimensionality: int = 8
+    value_range: Tuple[float, float] = (0.0, 100.0)
+    local_std_fraction: Tuple[float, float] = (0.01, 0.10)
+    outlier_fraction: float = 0.05
+    events: Sequence[DriftEvent] = field(default_factory=tuple)
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        self.n_dimensions = check_positive_int(self.n_dimensions, name="n_dimensions", minimum=1)
+        self.n_clusters = check_positive_int(self.n_clusters, name="n_clusters", minimum=1)
+        self.avg_cluster_dimensionality = check_positive_int(
+            self.avg_cluster_dimensionality, name="avg_cluster_dimensionality", minimum=1
+        )
+        if self.avg_cluster_dimensionality > self.n_dimensions:
+            raise ValueError(
+                "avg_cluster_dimensionality (%d) cannot exceed n_dimensions (%d)"
+                % (self.avg_cluster_dimensionality, self.n_dimensions)
+            )
+        low, high = self.value_range
+        if not (high > low):
+            raise ValueError("value_range must satisfy high > low")
+        self.outlier_fraction = check_fraction(self.outlier_fraction, name="outlier_fraction")
+        self.events = tuple(sorted(self.events, key=lambda event: int(event.batch)))
+        for event in self.events:
+            if int(event.batch) < 0:
+                raise ValueError("event batches must be non-negative")
+        self._timeline = self._resolve_timeline()
+
+    # ------------------------------------------------------------------ #
+    # population timeline
+    # ------------------------------------------------------------------ #
+    def _draw_population(
+        self,
+        cluster_id: int,
+        rng: np.random.Generator,
+        *,
+        dimensionality: Optional[int] = None,
+        exclude: Sequence[int] = (),
+    ) -> _ClusterPopulation:
+        """Fresh local populations for one cluster (paper Section 3)."""
+        count = int(dimensionality or self.avg_cluster_dimensionality)
+        count = int(np.clip(count, 1, self.n_dimensions))
+        pool = np.setdiff1d(np.arange(self.n_dimensions), np.asarray(exclude, dtype=int))
+        if pool.size < count:
+            pool = np.arange(self.n_dimensions)
+        dims = np.sort(rng.choice(pool, size=count, replace=False))
+        means: Dict[int, float] = {}
+        stds: Dict[int, float] = {}
+        for dim in dims:
+            means[int(dim)], stds[int(dim)] = self._draw_local(rng)
+        return _ClusterPopulation(cluster_id=cluster_id, dimensions=dims, means=means, stds=stds)
+
+    def _draw_local(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """One local Gaussian (mean, std) inside the global range."""
+        low, high = self.value_range
+        span = high - low
+        frac_low, frac_high = self.local_std_fraction
+        std = float(rng.uniform(frac_low, frac_high) * span)
+        margin = min(2.0 * std, 0.45 * span)
+        mean = float(rng.uniform(low + margin, high - margin))
+        return mean, std
+
+    def _apply_event(
+        self,
+        populations: List[_ClusterPopulation],
+        event: DriftEvent,
+        rng: np.random.Generator,
+        next_id: int,
+    ) -> int:
+        """Mutate ``populations`` in place; returns the updated next id."""
+        by_id = {population.cluster_id: population for population in populations}
+        if isinstance(event, ClusterBirth):
+            populations.append(
+                self._draw_population(next_id, rng, dimensionality=event.dimensionality)
+            )
+            return next_id + 1
+        target = by_id.get(int(event.cluster))
+        if target is None or not target.alive:
+            raise ValueError(
+                "event %r names cluster %d which is not alive at batch %d"
+                % (type(event).__name__, int(event.cluster), int(event.batch))
+            )
+        if isinstance(event, ClusterDeath):
+            target.alive = False
+        elif isinstance(event, MeanShift):
+            low, high = self.value_range
+            span = high - low
+            for dim in target.dimensions:
+                direction = 1.0 if rng.random() < 0.5 else -1.0
+                moved = target.means[int(dim)] + direction * event.magnitude * span
+                margin = min(2.0 * target.stds[int(dim)], 0.45 * span)
+                target.means[int(dim)] = float(np.clip(moved, low + margin, high - margin))
+        elif isinstance(event, DimensionDrift):
+            n_swap = int(np.clip(event.n_dimensions, 1, target.dimensions.size))
+            dropped = rng.choice(target.dimensions, size=n_swap, replace=False)
+            kept = np.setdiff1d(target.dimensions, dropped)
+            pool = np.setdiff1d(np.arange(self.n_dimensions), target.dimensions)
+            if pool.size < n_swap:
+                pool = np.setdiff1d(np.arange(self.n_dimensions), kept)
+            added = rng.choice(pool, size=n_swap, replace=False)
+            for dim in dropped:
+                target.means.pop(int(dim), None)
+                target.stds.pop(int(dim), None)
+            for dim in added:
+                target.means[int(dim)], target.stds[int(dim)] = self._draw_local(rng)
+            target.dimensions = np.sort(np.concatenate([kept, np.asarray(added, dtype=int)]))
+        else:
+            raise TypeError("unknown drift event %r" % (event,))
+        return next_id
+
+    def _resolve_timeline(self) -> List[Tuple[int, List[_ClusterPopulation]]]:
+        """States ``[(first_batch, populations), ...]`` in batch order.
+
+        The initial populations derive from ``(seed, "init")`` and each
+        event's randomness from ``(seed, "event", position)``, so the
+        timeline is a pure function of the constructor arguments — batch
+        generation never advances these streams.
+        """
+        rng = np.random.default_rng([int(self.random_state), 0xA11CE])
+        populations = [self._draw_population(cluster_id, rng) for cluster_id in range(self.n_clusters)]
+        next_id = self.n_clusters
+        timeline = [(0, [population.copy() for population in populations])]
+        for position, event in enumerate(self.events):
+            event_rng = np.random.default_rng([int(self.random_state), 0xE7E27, position])
+            next_id = self._apply_event(populations, event, event_rng, next_id)
+            batch = int(event.batch)
+            if timeline[-1][0] == batch:
+                timeline[-1] = (batch, [population.copy() for population in populations])
+            else:
+                timeline.append((batch, [population.copy() for population in populations]))
+        return timeline
+
+    def _populations_at(self, batch_index: int) -> List[_ClusterPopulation]:
+        state = self._timeline[0][1]
+        for first_batch, populations in self._timeline:
+            if first_batch > batch_index:
+                break
+            state = populations
+        return state
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def active_cluster_ids(self, batch_index: int) -> Tuple[int, ...]:
+        """Stable ids of the clusters emitting points at ``batch_index``."""
+        return tuple(
+            population.cluster_id
+            for population in self._populations_at(batch_index)
+            if population.alive
+        )
+
+    def relevant_dimensions(self, batch_index: int) -> Dict[int, np.ndarray]:
+        """Stable id -> relevant dimension indices at ``batch_index``."""
+        return {
+            population.cluster_id: population.dimensions.copy()
+            for population in self._populations_at(batch_index)
+            if population.alive
+        }
+
+    def events_at(self, batch_index: int) -> Tuple[DriftEvent, ...]:
+        """Schedule events that become effective exactly at ``batch_index``."""
+        return tuple(event for event in self.events if int(event.batch) == int(batch_index))
+
+    def batch(self, batch_index: int, batch_size: int) -> StreamBatch:
+        """Generate batch ``batch_index`` (independent of any other batch)."""
+        if batch_index < 0:
+            raise ValueError("batch_index must be non-negative")
+        batch_size = check_positive_int(batch_size, name="batch_size", minimum=1)
+        rng = np.random.default_rng([int(self.random_state), 1, int(batch_index)])
+        populations = [
+            population for population in self._populations_at(batch_index) if population.alive
+        ]
+        data, labels = self._sample(populations, batch_size, rng)
+        return StreamBatch(
+            index=int(batch_index),
+            data=data,
+            labels=labels,
+            active_clusters=tuple(population.cluster_id for population in populations),
+            events=self.events_at(batch_index),
+        )
+
+    def batches(self, n_batches: int, batch_size: int, *, start: int = 0):
+        """Iterate ``n_batches`` consecutive batches from ``start``."""
+        for offset in range(int(n_batches)):
+            yield self.batch(start + offset, batch_size)
+
+    def warmup(self, n_points: int) -> StreamBatch:
+        """A pre-stream training block drawn from the initial populations.
+
+        Uses its own RNG branch (``(seed, 2)``), so the warmup never
+        collides with any stream batch; intended for fitting the initial
+        model before the stream starts.
+        """
+        n_points = check_positive_int(n_points, name="n_points", minimum=2)
+        rng = np.random.default_rng([int(self.random_state), 2])
+        populations = [
+            population for population in self._timeline[0][1] if population.alive
+        ]
+        data, labels = self._sample(populations, n_points, rng)
+        return StreamBatch(
+            index=-1,
+            data=data,
+            labels=labels,
+            active_clusters=tuple(population.cluster_id for population in populations),
+        )
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def _sample(
+        self,
+        populations: List[_ClusterPopulation],
+        n_points: int,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        low, high = self.value_range
+        data = rng.uniform(low, high, size=(n_points, self.n_dimensions))
+        labels = np.full(n_points, -1, dtype=int)
+        if populations:
+            n_outliers = int(round(self.outlier_fraction * n_points))
+            n_clustered = n_points - n_outliers
+            base = n_clustered // len(populations)
+            sizes = np.full(len(populations), base, dtype=int)
+            sizes[: n_clustered - base * len(populations)] += 1
+            cursor = 0
+            for population, size in zip(populations, sizes):
+                members = np.arange(cursor, cursor + size)
+                cursor += size
+                labels[members] = population.cluster_id
+                for dim in population.dimensions:
+                    data[members, dim] = rng.normal(
+                        population.means[int(dim)],
+                        population.stds[int(dim)],
+                        size=members.size,
+                    )
+        permutation = rng.permutation(n_points)
+        return data[permutation], labels[permutation]
+
+
+def make_drift_schedule(
+    kind: str,
+    *,
+    drift_batch: int,
+    cluster: int = 0,
+    magnitude: float = 0.3,
+    n_dimensions: int = 2,
+) -> Tuple[DriftEvent, ...]:
+    """Preset schedules for the CLI and the bench scenarios.
+
+    ``kind`` is one of ``"none"``, ``"mean_shift"``, ``"dimension_drift"``,
+    ``"birth"``, ``"death"`` or ``"mixed"`` (a mean shift plus a birth at
+    ``drift_batch`` and a death of ``cluster`` + 1 one batch later).
+    """
+    if kind == "none":
+        return ()
+    if kind == "mean_shift":
+        return (MeanShift(batch=drift_batch, cluster=cluster, magnitude=magnitude),)
+    if kind == "dimension_drift":
+        return (DimensionDrift(batch=drift_batch, cluster=cluster, n_dimensions=n_dimensions),)
+    if kind == "birth":
+        return (ClusterBirth(batch=drift_batch),)
+    if kind == "death":
+        return (ClusterDeath(batch=drift_batch, cluster=cluster),)
+    if kind == "mixed":
+        return (
+            MeanShift(batch=drift_batch, cluster=cluster, magnitude=magnitude),
+            ClusterBirth(batch=drift_batch),
+            ClusterDeath(batch=drift_batch + 1, cluster=cluster + 1),
+        )
+    raise ValueError(
+        "unknown drift schedule %r (expected none, mean_shift, dimension_drift, "
+        "birth, death or mixed)" % (kind,)
+    )

@@ -129,6 +129,12 @@ class ProjectedClusterIndex:
         force-assigned every training object, so serving force-assigns
         too (each point goes to its best servable cluster even when the
         gain is not positive), matching ``SSPC._force_assign``.
+    projection_window:
+        When set, every cluster's projection buffer is bounded to this
+        many newest rows as points fold in (and when clusters are built
+        from rows), so the maintained median becomes a sliding-window
+        median — the bounded-memory mode the streaming engine runs in.
+        ``None`` (default) keeps the exact full-history behaviour.
 
     Notes
     -----
@@ -145,15 +151,21 @@ class ProjectedClusterIndex:
         *,
         center: str = "median",
         allow_outliers: Optional[bool] = None,
+        projection_window: Optional[int] = None,
     ) -> None:
         if center not in _CENTER_MODES:
             raise ValueError("center must be one of %s" % (_CENTER_MODES,))
+        if projection_window is not None and projection_window < 1:
+            raise ValueError("projection_window must be positive or None")
+        self.projection_window = projection_window
         self.center = center
         if allow_outliers is None:
             allow_outliers = bool(artifact.parameters.get("allow_outliers", True))
         self.allow_outliers = bool(allow_outliers)
         self.n_dimensions = int(artifact.n_dimensions)
         self.algorithm = artifact.algorithm
+        self._parameters = dict(artifact.parameters)
+        self._threshold_description = dict(artifact.threshold_description)
         self._threshold: SelectionThreshold = artifact.threshold()
         # Artifacts written back after partial_update record the absorbed
         # per-cluster sizes in metadata (the member index list can only
@@ -223,6 +235,21 @@ class ProjectedClusterIndex:
     def cluster_sizes(self) -> np.ndarray:
         """Current per-cluster sizes (training members + absorbed points)."""
         return np.asarray([cluster.size for cluster in self._clusters], dtype=int)
+
+    @property
+    def threshold(self) -> SelectionThreshold:
+        """The live selection-threshold scheme the index scores with."""
+        return self._threshold
+
+    @property
+    def threshold_description(self) -> dict:
+        """The served threshold scheme's description (``{"scheme": ...}``)."""
+        return dict(self._threshold_description)
+
+    @property
+    def global_variance(self) -> np.ndarray:
+        """Global column variances the served thresholds are fitted on."""
+        return self._threshold.global_variance.copy()
 
     # ------------------------------------------------------------------ #
     # scoring
@@ -393,6 +420,13 @@ class ProjectedClusterIndex:
                 cluster.projections = np.concatenate(
                     [cluster.projections, rows[:, cluster.dimensions]], axis=0
                 )
+                # Bound the buffer *before* the median so windowed mode
+                # pays a single median pass per fold.
+                if (
+                    self.projection_window is not None
+                    and cluster.projections.shape[0] > self.projection_window
+                ):
+                    cluster.projections = cluster.projections[-self.projection_window:].copy()
                 cluster.median_selected = np.median(cluster.projections, axis=0)
                 if self.center == "median":
                     cluster.center_selected = cluster.median_selected.copy()
@@ -447,6 +481,156 @@ class ProjectedClusterIndex:
         )
         artifact.metadata["serving_sizes"] = [int(size) for size in self.cluster_sizes()]
         return artifact
+
+    # ------------------------------------------------------------------ #
+    # cluster lifecycle (streaming maintenance)
+    # ------------------------------------------------------------------ #
+    def _state_from_rows(
+        self, dimensions: np.ndarray, rows: np.ndarray, score: float
+    ) -> _ServingCluster:
+        """Build a serving-cluster state from a block of member rows."""
+        dimensions = np.unique(np.asarray(dimensions, dtype=int))
+        if dimensions.size and (dimensions.min() < 0 or dimensions.max() >= self.n_dimensions):
+            raise ValueError("dimensions reference columns outside the model")
+        rows = self._check_points(rows)
+        mean = rows.mean(axis=0)
+        if rows.shape[0] > 1:
+            variance = rows.var(axis=0, ddof=1)
+        else:
+            variance = np.zeros(self.n_dimensions)
+        projections = rows[:, dimensions].copy()
+        if self.projection_window is not None and projections.shape[0] > self.projection_window:
+            projections = projections[-self.projection_window:].copy()
+        median_selected = (
+            np.median(projections, axis=0) if dimensions.size else np.empty(0)
+        )
+        if self.center == "mean":
+            center_selected = mean[dimensions].copy()
+        else:
+            # Median doubles as the representative for clusters born at
+            # serving time — the robust center the objective is built on.
+            center_selected = median_selected.copy()
+        return _ServingCluster(
+            dimensions=dimensions,
+            size=int(rows.shape[0]),
+            mean=mean,
+            variance=variance,
+            median_selected=median_selected,
+            center_selected=center_selected,
+            projections=projections,
+            score=float(score),
+        )
+
+    def add_cluster(
+        self, dimensions: np.ndarray, rows: np.ndarray, *, score: float = float("nan")
+    ) -> int:
+        """Spawn a new cluster from ``rows`` on ``dimensions``; returns its position.
+
+        The streaming engine uses this when a dense region accumulates in
+        its outlier buffer.  The new cluster's statistics (and exact
+        projections, hence exact medians) come entirely from ``rows``.
+        """
+        state = self._state_from_rows(dimensions, rows, score)
+        self._clusters.append(state)
+        self.n_points_absorbed += state.size
+        return len(self._clusters) - 1
+
+    def remove_cluster(self, position: int) -> None:
+        """Retire the cluster at ``position`` (later positions shift down)."""
+        if not (0 <= position < len(self._clusters)):
+            raise IndexError("cluster position %d out of range" % position)
+        del self._clusters[position]
+
+    def reanchor_cluster(
+        self, position: int, dimensions: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Re-anchor a drifted cluster on a recent window of its traffic.
+
+        Replaces the cluster's selected dimensions, statistics, medians
+        and projection buffer with those of ``rows`` — the streaming
+        drift response: the stale history stops influencing thresholds,
+        centers and medians, while the cluster keeps its position (and
+        its stable id in the engine above).
+        """
+        if not (0 <= position < len(self._clusters)):
+            raise IndexError("cluster position %d out of range" % position)
+        score = self._clusters[position].score
+        self._clusters[position] = self._state_from_rows(dimensions, rows, score)
+
+    def trim_projections(self, position: int, keep_last: int) -> None:
+        """Bound a cluster's projection buffer to its ``keep_last`` newest rows.
+
+        After a trim the maintained median becomes the median of the
+        retained window rather than of the full absorbed history — the
+        bounded-memory trade the streaming engine opts into explicitly.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
+        cluster = self._clusters[position]
+        if cluster.projections is not None and cluster.projections.shape[0] > keep_last:
+            cluster.projections = cluster.projections[-keep_last:].copy()
+            cluster.median_selected = np.median(cluster.projections, axis=0)
+            if self.center == "median":
+                cluster.center_selected = cluster.median_selected.copy()
+
+    def refresh_threshold(self, global_variance: np.ndarray) -> None:
+        """Refit the served selection thresholds on new global variances.
+
+        Streaming drift moves the global population too; the engine
+        passes its running column variances here so size-dependent
+        thresholds track the stream instead of the long-gone training
+        snapshot.  Memoized threshold vectors are invalidated by the
+        refit.
+        """
+        self._threshold.fit_from_variance(global_variance)
+
+    def export_artifact(self, *, metadata=None) -> ModelArtifact:
+        """Capture the index's *current* state as a fresh :class:`ModelArtifact`.
+
+        Unlike :meth:`fold_into` — which writes statistics back into the
+        artifact that built the index and therefore requires an unchanged
+        cluster structure — this constructs a new artifact from the live
+        serving state, so it works after :meth:`add_cluster` /
+        :meth:`remove_cluster` / :meth:`reanchor_cluster` and after
+        :meth:`refresh_threshold`.  Training-only payloads (member
+        indices, training labels) are empty: clusters born or re-anchored
+        at serving time have no training members.  An index rebuilt from
+        the exported artifact serves bit-identically to this one.
+        """
+        from repro.serving.artifact import ClusterModel
+
+        clusters = []
+        for state in self._clusters:
+            median = state.mean.copy()
+            median[state.dimensions] = state.median_selected
+            clusters.append(
+                ClusterModel(
+                    dimensions=state.dimensions.copy(),
+                    members=np.empty(0, dtype=int),
+                    representative=median.copy(),
+                    mean=state.mean.copy(),
+                    median=median,
+                    variance=state.variance.copy(),
+                    score=float(state.score),
+                    member_projections=(
+                        state.projections.copy() if state.projections is not None else None
+                    ),
+                )
+            )
+        merged_metadata = dict(metadata or {})
+        merged_metadata["serving_sizes"] = [int(size) for size in self.cluster_sizes()]
+        merged_metadata["absorbed_points"] = int(self.n_points_absorbed)
+        return ModelArtifact(
+            clusters=clusters,
+            labels=np.empty(0, dtype=int),
+            n_objects=0,
+            n_dimensions=self.n_dimensions,
+            threshold_description=dict(self._threshold_description),
+            global_variance=self._threshold.global_variance.copy(),
+            algorithm=self.algorithm,
+            parameters=dict(self._parameters),
+            metadata=merged_metadata,
+        )
 
     # ------------------------------------------------------------------ #
     # internals

@@ -1,0 +1,40 @@
+"""``repro.stream`` — online projected clustering over unbounded streams.
+
+The serving subsystem (PR 2) proved the incremental primitive: exact
+statistics merges fold accepted traffic into a live
+:class:`~repro.serving.index.ProjectedClusterIndex` without refitting.
+This package promotes that primitive into a full streaming engine:
+
+* :class:`~repro.stream.engine.StreamingSSPC` consumes an unbounded
+  point stream in micro-batches, assigns/gates each batch through the
+  serving index and folds accepted points in via exact merges;
+* rejected points land in a bounded outlier buffer from which **new
+  clusters are spawned** when a dense region accumulates (reusing the
+  paper's grid / seed-group initialisation machinery), while starved
+  clusters are retired;
+* per-cluster **drift detection** (statistic-shift tests against a
+  reference window) triggers re-running ``SelectDim`` and refreshing the
+  selection thresholds only where needed, keeping the steady-state hot
+  path at the serving subsystem's batched-inference speed;
+* :mod:`~repro.stream.checkpoint` persists the whole engine through the
+  existing :class:`~repro.serving.artifact.ModelArtifact` format, so a
+  stream consumer resumes mid-stream the way :mod:`repro.bench`'s store
+  resumes interrupted runs.
+
+Drift-capable stream *generators* live in :mod:`repro.data.streams`;
+the ``repro-stream`` CLI (:mod:`repro.stream.cli`) wires both together.
+"""
+
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.engine import BatchResult, StreamConfig, StreamEvent, StreamingSSPC
+from repro.stream.lifecycle import OutlierBuffer
+
+__all__ = [
+    "BatchResult",
+    "OutlierBuffer",
+    "StreamConfig",
+    "StreamEvent",
+    "StreamingSSPC",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.stream`` — console front end of the streaming subsystem."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.stream.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

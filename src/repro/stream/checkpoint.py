@@ -1,0 +1,237 @@
+"""Checkpoint / restore for the streaming engine.
+
+A checkpoint is a directory:
+
+* ``model/`` — the live clustering as a standard
+  :class:`~repro.serving.artifact.ModelArtifact` (the same format
+  ``repro-serve`` fits, inspects and serves).  While the engine has not
+  adapted (no spawn / retire / drift refresh), the artifact is produced
+  by folding the updated statistics back into the *source* artifact
+  (:meth:`~repro.serving.index.ProjectedClusterIndex.fold_into` +
+  ``save``), preserving the original training members and labels;
+  after any adaptation the current serving state is exported fresh
+  (:meth:`~repro.serving.index.ProjectedClusterIndex.export_artifact`).
+* ``stream_state.json`` — schema-versioned engine state: configuration,
+  stable cluster ids, counters, the event log and free-form metadata
+  (the CLI records the stream recipe here so ``replay`` can resume).
+* ``stream_arrays.npz`` — every float buffer at full precision: the
+  outlier buffer, each cluster's recent window and reference
+  statistics, and the running global statistics.
+
+Everything round-trips bit for bit, so a restored engine continues the
+stream exactly as if it had never stopped — the streaming analogue of
+:mod:`repro.bench`'s resumable run store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.serving.artifact import load_artifact
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = "repro-sspc-stream-checkpoint"
+SCHEMA_VERSION = 1
+MODEL_DIR = "model"
+STATE_NAME = "stream_state.json"
+ARRAYS_NAME = "stream_arrays.npz"
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "SCHEMA_VERSION",
+    "checkpoint_metadata",
+    "describe_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+
+def _can_fold_into_source(engine) -> bool:
+    """Whether the source artifact still matches the serving structure."""
+    source = engine._source_artifact
+    if engine.adapted or source is None:
+        return False
+    if len(source.clusters) != engine.index.n_clusters:
+        return False
+    for position, cluster in enumerate(source.clusters):
+        served = engine.index.cluster_statistics(position)
+        if not np.array_equal(cluster.dimensions, served.dimensions):
+            return False
+    return True
+
+
+def save_checkpoint(engine, path: PathLike, *, metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write ``engine`` to the checkpoint directory ``path``."""
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    if _can_fold_into_source(engine):
+        artifact = engine.index.fold_into(engine._source_artifact)
+    else:
+        artifact = engine.index.export_artifact()
+    # fold_into accumulates (+=) and a long-lived engine may checkpoint
+    # the same source artifact repeatedly; record the absolute count.
+    artifact.metadata["absorbed_points"] = (
+        engine._source_absorbed_base + int(engine.index.n_points_absorbed)
+    )
+    artifact.save(directory / MODEL_DIR)
+
+    arrays: Dict[str, np.ndarray] = {
+        "outlier_buffer": engine.outliers.rows,
+        "global_mean": engine._global_mean,
+        "global_variance": engine._global_variance,
+    }
+    for position in range(engine.index.n_clusters):
+        arrays["window_%d" % position] = engine._windows[position]
+        reference = engine._references[position]
+        if reference is not None:
+            arrays["reference_mean_%d" % position] = reference[0]
+            arrays["reference_variance_%d" % position] = reference[1]
+
+    state = {
+        "format": CHECKPOINT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "config": engine.config.to_dict(),
+        "center": engine.center,
+        "cluster_ids": [int(cluster_id) for cluster_id in engine.cluster_ids],
+        "next_cluster_id": int(engine._next_cluster_id),
+        "accepted_since_sweep": [int(count) for count in engine._accepted_since_sweep],
+        "starved_sweeps": [int(count) for count in engine._starved_sweeps],
+        "outliers_seen": int(engine.outliers.n_seen),
+        "outliers_dropped": int(engine.outliers.n_dropped),
+        "global_size": int(engine._global_size),
+        "n_batches": int(engine.n_batches),
+        "n_points": int(engine.n_points),
+        "n_sweeps": int(engine._n_sweeps),
+        "n_spawned": int(engine.n_spawned),
+        "n_spawns_rejected": int(engine.n_spawns_rejected),
+        "n_retired": int(engine.n_retired),
+        "n_drift_refreshes": int(engine.n_drift_refreshes),
+        "adapted": bool(engine.adapted),
+        "events": [event.to_dict() for event in engine.events],
+        "metadata": dict(metadata or {}),
+    }
+    with (directory / STATE_NAME).open("w") as handle:
+        json.dump(state, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with (directory / ARRAYS_NAME).open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return directory
+
+
+def _read_state(directory: Path) -> Dict[str, object]:
+    state_path = directory / STATE_NAME
+    if not state_path.is_file():
+        raise FileNotFoundError(
+            "%s is not a stream checkpoint (missing %s)" % (directory, STATE_NAME)
+        )
+    with state_path.open("r") as handle:
+        state = json.load(handle)
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            "unrecognised checkpoint format %r (expected %r)"
+            % (state.get("format"), CHECKPOINT_FORMAT)
+        )
+    if int(state.get("schema_version", -1)) > SCHEMA_VERSION:
+        raise ValueError(
+            "checkpoint schema_version %r is newer than this library supports (%d)"
+            % (state.get("schema_version"), SCHEMA_VERSION)
+        )
+    return state
+
+
+def checkpoint_metadata(path: PathLike) -> Dict[str, object]:
+    """Just the free-form metadata of a checkpoint (one small JSON read).
+
+    The ``replay`` CLI fetches the recorded stream recipe through this
+    instead of :func:`describe_checkpoint`, which re-reads the whole
+    model artifact and array bundle.
+    """
+    return dict(_read_state(Path(path)).get("metadata", {}))
+
+
+def describe_checkpoint(path: PathLike) -> Dict[str, object]:
+    """Human-readable checkpoint summary (the ``inspect`` CLI payload)."""
+    directory = Path(path)
+    state = _read_state(directory)
+    artifact = load_artifact(directory / MODEL_DIR)
+    with np.load(directory / ARRAYS_NAME) as bundle:
+        outliers_buffered = int(bundle["outlier_buffer"].shape[0])
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "schema_version": int(state["schema_version"]),
+        "n_batches": int(state["n_batches"]),
+        "n_points": int(state["n_points"]),
+        "cluster_ids": list(state["cluster_ids"]),
+        "n_spawned": int(state["n_spawned"]),
+        "n_retired": int(state["n_retired"]),
+        "n_drift_refreshes": int(state["n_drift_refreshes"]),
+        "adapted": bool(state["adapted"]),
+        "outliers_buffered": outliers_buffered,
+        "events": list(state["events"]),
+        "config": dict(state["config"]),
+        "metadata": dict(state.get("metadata", {})),
+        "model": artifact.describe(),
+    }
+
+
+def load_checkpoint(path: PathLike, *, config=None):
+    """Rebuild a :class:`~repro.stream.engine.StreamingSSPC` from ``path``.
+
+    ``config`` overrides the checkpointed :class:`StreamConfig` (e.g. to
+    change adaptation knobs mid-stream); buffers sized by the old config
+    are re-bounded under the new one.
+    """
+    from repro.stream.engine import StreamConfig, StreamEvent, StreamingSSPC
+
+    directory = Path(path)
+    state = _read_state(directory)
+    artifact = load_artifact(directory / MODEL_DIR)
+    engine_config = config if config is not None else StreamConfig.from_dict(state["config"])
+    engine = StreamingSSPC(artifact, config=engine_config, center=str(state["center"]))
+
+    with np.load(directory / ARRAYS_NAME) as bundle:
+        arrays = {key: bundle[key] for key in bundle.files}
+
+    cluster_ids = [int(cluster_id) for cluster_id in state["cluster_ids"]]
+    if len(cluster_ids) != engine.index.n_clusters:
+        raise ValueError(
+            "checkpoint state names %d clusters but the model holds %d"
+            % (len(cluster_ids), engine.index.n_clusters)
+        )
+    engine.cluster_ids = cluster_ids
+    engine._next_cluster_id = int(state["next_cluster_id"])
+    engine._windows = [
+        arrays["window_%d" % position] for position in range(engine.index.n_clusters)
+    ]
+    engine._references = [
+        (
+            (arrays["reference_mean_%d" % position], arrays["reference_variance_%d" % position])
+            if "reference_mean_%d" % position in arrays
+            else None
+        )
+        for position in range(engine.index.n_clusters)
+    ]
+    engine._accepted_since_sweep = [int(count) for count in state["accepted_since_sweep"]]
+    engine._starved_sweeps = [int(count) for count in state["starved_sweeps"]]
+    engine.outliers.extend(arrays["outlier_buffer"])
+    engine.outliers.n_seen = int(state["outliers_seen"])
+    engine.outliers.n_dropped = int(state["outliers_dropped"])
+    engine._global_size = int(state["global_size"])
+    engine._global_mean = arrays["global_mean"]
+    engine._global_variance = arrays["global_variance"]
+    engine.n_batches = int(state["n_batches"])
+    engine.n_points = int(state["n_points"])
+    engine._n_sweeps = int(state["n_sweeps"])
+    engine.n_spawned = int(state["n_spawned"])
+    engine.n_spawns_rejected = int(state.get("n_spawns_rejected", 0))
+    engine.n_retired = int(state["n_retired"])
+    engine.n_drift_refreshes = int(state["n_drift_refreshes"])
+    engine._adapted = bool(state["adapted"])
+    engine.events = [StreamEvent.from_dict(event) for event in state["events"]]
+    return engine

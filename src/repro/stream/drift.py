@@ -1,0 +1,102 @@
+"""Per-cluster drift detection via statistic-shift tests.
+
+A streaming cluster is summarised twice: by its *reference* statistics
+(the full-``d`` mean / variance captured when the cluster was last
+fitted, spawned or re-anchored) and by a bounded *recent window* of the
+rows it accepted.  :class:`DriftDetector` compares the two on the
+cluster's selected dimensions — the only dimensions that influence
+assignment — with a **mean-shift z test**: ``|m_w - mu_ref| /
+sqrt(s2_ref / w)``.  A location move of the underlying local Gaussian
+grows this linearly in the shift and with ``sqrt(w)``, and subspace
+drift fires it too — rows that keep passing the gate after a cluster
+leaves a dimension are background-distributed along it, which drags the
+window mean toward the background mean.
+
+A variance-ratio test is deliberately *not* part of the score: the
+window holds gated traffic, and the acceptance region (a summed
+quadratic gate over the selected dimensions) truncates each dimension's
+marginal into a heavy-tailed mixture — a handful of fringe rows that
+are tight on the other dimensions legally carry huge deviations on one,
+so the sample variance of accepted traffic is unstable by construction
+and a log-variance statistic flags a perfectly stationary stream.  The
+mean of the same traffic is well-behaved (measured stationary maxima
+stay under ~2.5 sigma).
+
+The drift score is the maximum over the selected dimensions; a cluster
+is flagged only when the score exceeds ``zscore`` *and* the window
+holds at least ``min_points`` rows, so a freshly (re-)anchored cluster
+is never retested on noise.  With the default ``zscore`` of 8 a
+stationary stream essentially never triggers, which is what keeps the
+drift-free hot path bit-identical to plain ``partial_update`` serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DriftDetector", "DriftVerdict"]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of one drift assessment.
+
+    ``score`` is reported even when ``drifted`` is false (diagnostics);
+    ``worst_dimension`` is the global index of the dimension with the
+    largest shift statistic, or ``-1`` when nothing was testable.
+    """
+
+    drifted: bool
+    score: float
+    window_size: int
+    worst_dimension: int = -1
+
+
+class DriftDetector:
+    """Statistic-shift test comparing a recent window against a reference.
+
+    Parameters
+    ----------
+    zscore:
+        Drift threshold on the maximum shift statistic.
+    min_points:
+        Minimum window rows before a cluster may be flagged.
+    """
+
+    def __init__(self, *, zscore: float = 8.0, min_points: int = 48) -> None:
+        if zscore <= 0:
+            raise ValueError("zscore must be positive")
+        if min_points < 2:
+            raise ValueError("min_points must be at least 2")
+        self.zscore = float(zscore)
+        self.min_points = int(min_points)
+
+    def assess(
+        self,
+        reference_mean: np.ndarray,
+        reference_variance: np.ndarray,
+        dimensions: np.ndarray,
+        window: np.ndarray,
+    ) -> DriftVerdict:
+        """Assess one cluster: reference full-``d`` stats vs window rows."""
+        dimensions = np.asarray(dimensions, dtype=int)
+        w = int(window.shape[0]) if window.ndim == 2 else 0
+        if w < 2 or dimensions.size == 0:
+            return DriftVerdict(drifted=False, score=0.0, window_size=w)
+        tiny = np.finfo(float).tiny
+        ref_mean = np.asarray(reference_mean, dtype=float)[dimensions]
+        ref_var = np.maximum(np.asarray(reference_variance, dtype=float)[dimensions], tiny)
+        selected = window[:, dimensions]
+        window_mean = selected.mean(axis=0)
+        scores = np.abs(window_mean - ref_mean) / np.sqrt(ref_var / w)
+        worst = int(np.argmax(scores))
+        score = float(scores[worst])
+        drifted = w >= self.min_points and score > self.zscore
+        return DriftVerdict(
+            drifted=drifted,
+            score=score,
+            window_size=w,
+            worst_dimension=int(dimensions[worst]),
+        )

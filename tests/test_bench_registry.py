@@ -25,11 +25,11 @@ class TestCompleteness:
         missing = expected - set(registry.ids())
         assert not missing, "benchmark scripts without a registered scenario: %s" % sorted(missing)
 
-    def test_all_twelve_scenarios_registered(self):
-        assert len(registry.ids()) >= 12
+    def test_all_scenarios_registered(self):
+        assert len(registry.ids()) >= 13
 
     def test_groups_cover_the_ci_matrix(self):
-        assert registry.groups() == ["accuracy", "knowledge", "perf", "robustness"]
+        assert registry.groups() == ["accuracy", "knowledge", "perf", "robustness", "stream"]
 
 
 class TestScenarioDeclarations:

@@ -258,3 +258,63 @@ class TestMergeMeanVariance:
 
         with pytest.raises(ValueError):
             merge_mean_variance(-1, np.zeros(2), np.zeros(2), 1, np.zeros(2), np.zeros(2))
+
+
+class TestEvictionAccounting:
+    def test_evictions_counted_and_bound_respected(self, rng):
+        data = rng.normal(size=(40, 6))
+        cache = ClusterStatsCache(data, max_entries=4)
+        for start in range(12):
+            cache.statistics(np.arange(start, start + 5))
+        assert cache.n_entries == 4
+        assert cache.evictions == 8
+        assert cache.hit_rate == 0.0
+
+    def test_hit_rate_and_counters_snapshot(self, rng):
+        data = rng.normal(size=(30, 5))
+        cache = ClusterStatsCache(data)
+        members = np.arange(10)
+        cache.statistics(members)
+        cache.statistics(members)
+        cache.statistics(members)
+        counters = cache.counters()
+        assert counters["hits"] == 2
+        assert counters["misses"] == 1
+        assert counters["evictions"] == 0
+        assert counters["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_clear_resets_eviction_counter(self, rng):
+        data = rng.normal(size=(20, 4))
+        cache = ClusterStatsCache(data, max_entries=1)
+        cache.statistics(np.arange(3))
+        cache.statistics(np.arange(4))
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+
+class TestSSPCPlumbing:
+    def test_max_entries_plumbed_from_the_estimator(self, tiny_dataset):
+        from repro.core.sspc import SSPC
+
+        model = SSPC(
+            n_clusters=3, m=0.5, max_iterations=3, random_state=0,
+            stats_cache_max_entries=7,
+        ).fit(tiny_dataset.data)
+        assert model.stats_cache_.max_entries == 7
+        assert model.stats_cache_.hits > 0
+        assert model.get_params()["stats_cache_max_entries"] == 7
+
+    def test_default_keeps_the_cache_default_and_parameters_clean(self, tiny_dataset):
+        from repro.core.sspc import SSPC
+
+        model = SSPC(n_clusters=3, m=0.5, max_iterations=3, random_state=0)
+        model.fit(tiny_dataset.data)
+        assert model.stats_cache_.max_entries == 128
+        assert "stats_cache_max_entries" not in model.get_params()
+
+    def test_negative_bound_rejected(self):
+        from repro.core.sspc import SSPC
+
+        with pytest.raises(ValueError):
+            SSPC(n_clusters=2, stats_cache_max_entries=-1)

@@ -1,0 +1,307 @@
+"""Tests of the streaming engine (:mod:`repro.stream.engine`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sspc import SSPC
+from repro.data.streams import (
+    ClusterBirth,
+    ClusterDeath,
+    DriftingStreamGenerator,
+    MeanShift,
+)
+from repro.evaluation import adjusted_rand_index
+from repro.serving.index import ProjectedClusterIndex
+from repro.stream import StreamConfig, StreamingSSPC, load_checkpoint
+
+STREAM_SHAPE = dict(
+    n_dimensions=40,
+    n_clusters=3,
+    avg_cluster_dimensionality=6,
+    outlier_fraction=0.05,
+    random_state=7,
+)
+
+
+def make_stream(events=()):
+    return DriftingStreamGenerator(events=events, **STREAM_SHAPE)
+
+
+@pytest.fixture(scope="module")
+def stream_model():
+    """A well-fitted initial model on the stream's pre-drift populations."""
+    warmup = make_stream().warmup(900)
+    model = SSPC(n_clusters=3, m=0.5, max_iterations=20, random_state=3).fit(warmup.data)
+    # The engine contracts below assume the warmup fit actually found the
+    # three generating clusters (a misfit model *should* trigger spawns).
+    assert adjusted_rand_index(warmup.labels, model.labels_) > 0.95
+    return model
+
+
+def adaptive_config(**overrides):
+    parameters = dict(seed=1, spawn_min_points=20, lifecycle_every=4, drift_check_every=2)
+    parameters.update(overrides)
+    return StreamConfig(**parameters)
+
+
+class TestDriftFreeBitIdentity:
+    def test_statistics_match_bare_partial_update_exactly(self, stream_model):
+        """Acceptance: drift-free streaming == the PR-2 serving primitive."""
+        engine = StreamingSSPC(stream_model.to_artifact(), config=StreamConfig(seed=1))
+        index = ProjectedClusterIndex(stream_model.to_artifact())
+        for batch in make_stream().batches(30, 150):
+            result = engine.process_batch(batch.data)
+            labels = index.partial_update(batch.data)
+            # No lifecycle events -> stable ids coincide with positions.
+            np.testing.assert_array_equal(result.labels, labels)
+        assert engine.n_spawned == engine.n_retired == engine.n_drift_refreshes == 0
+        assert not engine.adapted
+        for position in range(index.n_clusters):
+            ours = engine.index.cluster_statistics(position)
+            theirs = index.cluster_statistics(position)
+            assert ours.size == theirs.size
+            assert np.array_equal(ours.mean, theirs.mean)
+            assert np.array_equal(ours.variance, theirs.variance)
+            assert np.array_equal(ours.median_selected, theirs.median_selected)
+
+    def test_bit_identity_also_holds_with_adaptation_disabled(self, stream_model):
+        engine = StreamingSSPC(
+            stream_model.to_artifact(),
+            config=StreamConfig(seed=1, lifecycle_every=0, drift_check_every=0),
+        )
+        index = ProjectedClusterIndex(stream_model.to_artifact())
+        for batch in make_stream(events=[MeanShift(batch=3, cluster=0)]).batches(8, 150):
+            engine.process_batch(batch.data)
+            index.partial_update(batch.data)
+        assert not engine.adapted
+        for position in range(index.n_clusters):
+            assert np.array_equal(
+                engine.index.cluster_statistics(position).mean,
+                index.cluster_statistics(position).mean,
+            )
+
+
+class TestOutlierBuffer:
+    def test_buffer_is_bounded(self, stream_model):
+        engine = StreamingSSPC(
+            stream_model.to_artifact(),
+            config=StreamConfig(seed=1, outlier_buffer_size=16, lifecycle_every=0,
+                                drift_check_every=0),
+        )
+        for batch in make_stream().batches(10, 150):
+            engine.process_batch(batch.data)
+        assert len(engine.outliers) <= 16
+        assert engine.outliers.n_dropped > 0
+        assert engine.outliers.n_seen > 16
+
+
+class TestLifecycle:
+    def test_cluster_birth_triggers_a_spawn_with_a_fresh_stable_id(self, stream_model):
+        stream = make_stream(events=[ClusterBirth(batch=4)])
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        results = [engine.process_batch(batch.data) for batch in stream.batches(16, 150)]
+        spawns = [event for event in engine.events if event.kind == "spawn"]
+        assert spawns, "newborn cluster was never spawned"
+        assert engine.n_clusters == 4
+        assert engine.cluster_ids[-1] == 3  # fresh id, never a reused position
+        # After the spawn, the newborn's rows map to exactly one engine id.
+        last = results[-1]
+        batch = stream.batch(15, 150)
+        newborn_labels = last.labels[batch.labels == 3]
+        values, counts = np.unique(newborn_labels, return_counts=True)
+        assert values[np.argmax(counts)] == 3
+        assert counts.max() / newborn_labels.size > 0.8
+
+    def test_dead_cluster_is_retired_and_ids_stay_stable(self, stream_model):
+        stream = make_stream(events=[ClusterDeath(batch=2, cluster=2)])
+        engine = StreamingSSPC(
+            stream_model.to_artifact(),
+            config=adaptive_config(lifecycle_every=2, retire_patience=2),
+        )
+        for batch in stream.batches(14, 150):
+            engine.process_batch(batch.data)
+        retirements = [event for event in engine.events if event.kind == "retire"]
+        assert retirements
+        assert engine.n_clusters == 2
+        assert len(engine.cluster_ids) == 2
+        assert sorted(set(engine.cluster_ids)) == engine.cluster_ids  # still unique
+        with pytest.raises(ValueError):
+            engine.position_of(retirements[0].cluster_id)
+
+    def test_leaked_members_do_not_spawn_a_duplicate(self, stream_model):
+        """Borderline members of an existing cluster must not respawn it."""
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        for batch in make_stream().batches(30, 150):
+            engine.process_batch(batch.data)
+        assert engine.n_spawned == 0
+
+
+class TestDriftAdaptation:
+    def test_small_mean_shift_triggers_a_refresh_not_a_spawn(self, stream_model):
+        # A shift small enough that points keep passing the gate: the
+        # cluster's accepted-traffic mean moves, the detector fires, and
+        # the cluster is re-anchored in place.
+        stream = make_stream(events=[MeanShift(batch=4, cluster=0, magnitude=0.08)])
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        for batch in stream.batches(20, 150):
+            engine.process_batch(batch.data)
+        assert engine.n_drift_refreshes >= 1
+        drift_events = [event for event in engine.events if event.kind == "drift"]
+        assert all(event.details["score"] > 8.0 for event in drift_events)
+
+    def test_refreshed_cluster_tracks_the_new_population(self, stream_model):
+        stream = make_stream(events=[MeanShift(batch=4, cluster=0, magnitude=0.08)])
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        aris = []
+        for batch in stream.batches(24, 150):
+            result = engine.process_batch(batch.data)
+            clustered = batch.labels >= 0
+            aris.append(adjusted_rand_index(batch.labels[clustered], result.labels[clustered]))
+        assert np.mean(aris[-6:]) > 0.9
+
+    def test_mixed_event_gauntlet_recovers(self, stream_model):
+        stream = make_stream(
+            events=[
+                MeanShift(batch=16, cluster=0, magnitude=0.35),
+                ClusterBirth(batch=20),
+                ClusterDeath(batch=24, cluster=2),
+            ]
+        )
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        aris = []
+        for batch in stream.batches(56, 150):
+            result = engine.process_batch(batch.data)
+            clustered = batch.labels >= 0
+            aris.append(adjusted_rand_index(batch.labels[clustered], result.labels[clustered]))
+        assert np.mean(aris[:16]) > 0.95
+        assert np.mean(aris[-10:]) > 0.9
+        assert engine.n_spawned >= 1
+
+
+class TestProjectionWindow:
+    def test_projection_buffers_stay_bounded(self, stream_model):
+        engine = StreamingSSPC(
+            stream_model.to_artifact(),
+            config=StreamConfig(seed=1, projection_window=64, lifecycle_every=0,
+                                drift_check_every=0),
+        )
+        for batch in make_stream().batches(10, 150):
+            engine.process_batch(batch.data)
+        for position in range(engine.n_clusters):
+            projections = engine.index._clusters[position].projections
+            assert projections.shape[0] <= 64
+
+
+class TestCheckpointRestore:
+    def test_interrupted_run_is_bit_identical_to_uninterrupted(self, stream_model, tmp_path):
+        stream = make_stream(
+            events=[MeanShift(batch=10, cluster=0, magnitude=0.35), ClusterBirth(batch=14)]
+        )
+        config = adaptive_config()
+        reference = StreamingSSPC(stream_model.to_artifact(), config=config)
+        reference_labels = [
+            reference.process_batch(batch.data).labels for batch in stream.batches(30, 150)
+        ]
+
+        interrupted = StreamingSSPC(stream_model.to_artifact(), config=config)
+        for batch in stream.batches(18, 150):
+            interrupted.process_batch(batch.data)
+        assert interrupted.adapted  # the checkpoint exercises the export path
+        interrupted.checkpoint(tmp_path / "ck")
+        resumed = load_checkpoint(tmp_path / "ck")
+        assert resumed.n_batches == 18
+        resumed_labels = [
+            resumed.process_batch(batch.data).labels
+            for batch in stream.batches(12, 150, start=18)
+        ]
+        for left, right in zip(reference_labels[18:], resumed_labels):
+            np.testing.assert_array_equal(left, right)
+        assert resumed.cluster_ids == reference.cluster_ids
+        assert len(resumed.events) == len(reference.events)
+        for position in range(reference.n_clusters):
+            ours = resumed.index.cluster_statistics(position)
+            theirs = reference.index.cluster_statistics(position)
+            assert ours.size == theirs.size
+            assert np.array_equal(ours.dimensions, theirs.dimensions)
+            assert np.array_equal(ours.mean, theirs.mean)
+            assert np.array_equal(ours.variance, theirs.variance)
+            assert np.array_equal(ours.median_selected, theirs.median_selected)
+
+    def test_unadapted_checkpoint_preserves_training_payload(self, stream_model, tmp_path):
+        """Without adaptation the checkpoint folds into the source artifact."""
+        engine = StreamingSSPC(stream_model.to_artifact(), config=StreamConfig(seed=1))
+        for batch in make_stream().batches(6, 150):
+            engine.process_batch(batch.data)
+        assert not engine.adapted
+        engine.checkpoint(tmp_path / "ck")
+        from repro.serving.artifact import load_artifact
+
+        artifact = load_artifact(tmp_path / "ck" / "model")
+        assert artifact.n_objects == 900  # training labels/members survived
+        assert artifact.metadata["serving_sizes"] == [
+            int(size) for size in engine.index.cluster_sizes()
+        ]
+
+    def test_repeated_checkpoints_record_absolute_absorbed_counts(
+        self, stream_model, tmp_path
+    ):
+        """Re-checkpointing an unadapted engine must not double-count."""
+        from repro.serving.artifact import load_artifact
+
+        engine = StreamingSSPC(stream_model.to_artifact(), config=StreamConfig(seed=1))
+        stream = make_stream()
+        for batch in stream.batches(3, 150):
+            engine.process_batch(batch.data)
+        engine.checkpoint(tmp_path / "ck")
+        for batch in stream.batches(3, 150, start=3):
+            engine.process_batch(batch.data)
+        engine.checkpoint(tmp_path / "ck")
+        artifact = load_artifact(tmp_path / "ck" / "model")
+        assert artifact.metadata["absorbed_points"] == engine.index.n_points_absorbed
+        # ... and a restored engine keeps the running total correct.
+        resumed = load_checkpoint(tmp_path / "ck")
+        for batch in stream.batches(2, 150, start=6):
+            resumed.process_batch(batch.data)
+        resumed.checkpoint(tmp_path / "ck")
+        artifact = load_artifact(tmp_path / "ck" / "model")
+        assert artifact.metadata["absorbed_points"] == (
+            engine.index.n_points_absorbed + resumed.index.n_points_absorbed
+        )
+
+    def test_adapted_checkpoint_exports_serving_state(self, stream_model, tmp_path):
+        stream = make_stream(events=[ClusterBirth(batch=2)])
+        engine = StreamingSSPC(stream_model.to_artifact(), config=adaptive_config())
+        for batch in stream.batches(12, 150):
+            engine.process_batch(batch.data)
+        assert engine.adapted
+        engine.checkpoint(tmp_path / "ck")
+        from repro.serving.artifact import load_artifact
+
+        artifact = load_artifact(tmp_path / "ck" / "model")
+        assert artifact.n_objects == 0  # no training payload for adapted state
+        assert artifact.n_clusters == engine.n_clusters
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"outlier_buffer_size": 0},
+            {"spawn_min_points": 1},
+            {"retire_patience": 0},
+            {"drift_window": 1},
+            {"drift_min_points": 1},
+            {"drift_window": 16, "drift_min_points": 32},
+            {"projection_window": 0},
+            {"lifecycle_every": -1},
+        ],
+    )
+    def test_bad_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            StreamConfig(**overrides)
+
+    def test_config_round_trips_through_dict(self):
+        config = StreamConfig(seed=5, max_clusters=7, projection_window=32)
+        assert StreamConfig.from_dict(config.to_dict()) == config

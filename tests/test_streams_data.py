@@ -1,0 +1,134 @@
+"""Tests of the drift-capable stream generators (:mod:`repro.data.streams`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.streams import (
+    ClusterBirth,
+    ClusterDeath,
+    DimensionDrift,
+    DriftingStreamGenerator,
+    MeanShift,
+    make_drift_schedule,
+)
+
+
+def make_generator(**overrides):
+    parameters = dict(
+        n_dimensions=30,
+        n_clusters=3,
+        avg_cluster_dimensionality=5,
+        outlier_fraction=0.1,
+        random_state=11,
+    )
+    parameters.update(overrides)
+    return DriftingStreamGenerator(**parameters)
+
+
+class TestDeterminismAndResumability:
+    def test_same_batch_index_is_bit_identical(self):
+        generator = make_generator()
+        first = generator.batch(3, 120)
+        second = generator.batch(3, 120)
+        assert np.array_equal(first.data, second.data)
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_batches_independent_of_iteration_order(self):
+        """Batch i is the same whether reached from 0 or started at i (resume)."""
+        generator = make_generator(events=[MeanShift(batch=2, cluster=0)])
+        sequential = list(generator.batches(6, 80))
+        resumed = list(generator.batches(3, 80, start=3))
+        for left, right in zip(sequential[3:], resumed):
+            assert left.index == right.index
+            assert np.array_equal(left.data, right.data)
+            assert np.array_equal(left.labels, right.labels)
+
+    def test_two_generators_same_seed_agree(self):
+        first = make_generator().batch(5, 100)
+        second = make_generator().batch(5, 100)
+        assert np.array_equal(first.data, second.data)
+
+    def test_warmup_deterministic_and_distinct_from_batches(self):
+        generator = make_generator()
+        warmup = generator.warmup(200)
+        assert warmup.index == -1
+        assert np.array_equal(warmup.data, generator.warmup(200).data)
+        assert not np.array_equal(warmup.data[:100], generator.batch(0, 100).data)
+
+
+class TestBatchContents:
+    def test_shapes_and_label_values(self):
+        generator = make_generator()
+        batch = generator.batch(0, 200)
+        assert batch.data.shape == (200, 30)
+        assert batch.labels.shape == (200,)
+        assert set(np.unique(batch.labels)) <= {-1, 0, 1, 2}
+
+    def test_outlier_fraction_respected(self):
+        batch = make_generator(outlier_fraction=0.1).batch(0, 200)
+        assert int(np.count_nonzero(batch.labels == -1)) == 20
+
+    def test_members_concentrate_on_relevant_dimensions(self):
+        generator = make_generator(outlier_fraction=0.0)
+        batch = generator.batch(0, 300)
+        relevant = generator.relevant_dimensions(0)
+        for cluster_id, dims in relevant.items():
+            rows = batch.data[batch.labels == cluster_id]
+            irrelevant = np.setdiff1d(np.arange(30), dims)
+            assert rows[:, dims].std(axis=0).max() < rows[:, irrelevant].std(axis=0).min()
+
+
+class TestEvents:
+    def test_mean_shift_moves_the_population(self):
+        generator = make_generator(events=[MeanShift(batch=5, cluster=0, magnitude=0.3)])
+        dims = generator.relevant_dimensions(0)[0]
+        before = generator.batch(4, 400)
+        after = generator.batch(5, 400)
+        mean_before = before.data[before.labels == 0][:, dims].mean(axis=0)
+        mean_after = after.data[after.labels == 0][:, dims].mean(axis=0)
+        assert np.abs(mean_after - mean_before).max() > 10.0
+
+    def test_birth_adds_a_fresh_stable_id(self):
+        generator = make_generator(events=[ClusterBirth(batch=4)])
+        assert generator.active_cluster_ids(3) == (0, 1, 2)
+        assert generator.active_cluster_ids(4) == (0, 1, 2, 3)
+        batch = generator.batch(4, 200)
+        assert np.count_nonzero(batch.labels == 3) > 0
+
+    def test_death_stops_emission_and_never_reuses_the_id(self):
+        generator = make_generator(
+            events=[ClusterDeath(batch=3, cluster=1), ClusterBirth(batch=6)]
+        )
+        assert 1 not in generator.active_cluster_ids(3)
+        assert generator.active_cluster_ids(6) == (0, 2, 3)
+        batch = generator.batch(6, 200)
+        assert np.count_nonzero(batch.labels == 1) == 0
+
+    def test_dimension_drift_swaps_relevant_dimensions(self):
+        generator = make_generator(events=[DimensionDrift(batch=2, cluster=2, n_dimensions=2)])
+        before = generator.relevant_dimensions(1)[2]
+        after = generator.relevant_dimensions(2)[2]
+        assert before.size == after.size
+        assert np.intersect1d(before, after).size == before.size - 2
+
+    def test_event_on_dead_cluster_rejects(self):
+        with pytest.raises(ValueError):
+            make_generator(
+                events=[ClusterDeath(batch=1, cluster=0), MeanShift(batch=2, cluster=0)]
+            )
+
+
+class TestSchedulePresets:
+    @pytest.mark.parametrize("kind", ["none", "mean_shift", "dimension_drift",
+                                      "birth", "death", "mixed"])
+    def test_presets_build_valid_generators(self, kind):
+        events = make_drift_schedule(kind, drift_batch=3)
+        generator = make_generator(events=events)
+        batch = generator.batch(5, 60)
+        assert batch.data.shape == (60, 30)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            make_drift_schedule("sideways", drift_batch=3)
