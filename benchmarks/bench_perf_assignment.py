@@ -1,0 +1,18 @@
+"""Thin wrapper: the assignment-engine micro-benchmark lives in the library.
+
+The measurement core is :mod:`repro.bench.perf_assignment`, so the
+``repro-bench`` orchestrator (scenario ``perf_assignment``) and this
+script share one implementation.  Run either::
+
+    PYTHONPATH=src python benchmarks/bench_perf_assignment.py --smoke
+    PYTHONPATH=src python -m repro.bench run --suite smoke --scenario perf_assignment
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.perf_assignment import main
+
+if __name__ == "__main__":
+    sys.exit(main())

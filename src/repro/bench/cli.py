@@ -77,6 +77,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         group=args.group,
         scenario_ids=args.scenarios,
         resume=not args.no_resume,
+        profile=args.profile,
         log=print,
     )
     store = RunStore(args.run_dir)
@@ -160,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="process shards for task fan-out (default: 1)")
     run_parser.add_argument("--no-resume", action="store_true",
                             help="ignore existing records and re-execute everything")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="run each executed task under cProfile and write a "
+                                 "top-25-cumulative table per task into "
+                                 "<run-dir>/profiles/ (off by default: profiling "
+                                 "inflates the recorded timings)")
     run_parser.add_argument("--write-baseline", metavar="PATH", default=None,
                             help="also write the aggregated metrics as a baseline file")
     _add_selection_arguments(run_parser)

@@ -32,6 +32,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from typing import List, Tuple
 
 import numpy as np
@@ -202,6 +203,23 @@ def run_benchmark(args: argparse.Namespace) -> dict:
 
     naive_per_iter = min(naive_times) / args.iterations
     fast_per_iter = min(fast_times) / args.iterations
+    # Snapshot the statistics-pass counters before the memory probe
+    # below adds its own (untimed, uncounted) iterations.
+    stat_passes_naive = naive_cache.n_stat_passes
+    stat_passes_fast = fast_cache.n_stat_passes
+
+    # Peak-memory probe (tracemalloc, reported info-only): one untimed
+    # iteration per arm, after the timed runs so instrumentation
+    # overhead never touches the timings.
+    tracemalloc.start()
+    run_iterations(objective_naive, states, 1, optimized=False)
+    _, peak_naive = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    run_iterations(objective_fast, states, 1, optimized=True)
+    _, peak_fast = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
     return {
         "config": {
             "n_objects": args.n_objects,
@@ -215,11 +233,13 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         "naive_seconds_per_iteration": naive_per_iter,
         "optimized_seconds_per_iteration": fast_per_iter,
         "speedup": naive_per_iter / fast_per_iter if fast_per_iter > 0 else float("inf"),
-        "stat_passes_naive_last_repeat": naive_cache.n_stat_passes,
-        "stat_passes_optimized_last_repeat": fast_cache.n_stat_passes,
+        "stat_passes_naive_last_repeat": stat_passes_naive,
+        "stat_passes_optimized_last_repeat": stat_passes_fast,
         "stat_pass_reduction": (
-            naive_cache.n_stat_passes / max(fast_cache.n_stat_passes, 1)
+            stat_passes_naive / max(stat_passes_fast, 1)
         ),
+        "peak_naive_mib": peak_naive / (1024.0 ** 2),
+        "peak_optimized_mib": peak_fast / (1024.0 ** 2),
         "results_identical": bool(identical),
     }
 
@@ -269,6 +289,8 @@ def main(argv=None) -> int:
         report["stat_passes_optimized_last_repeat"]))
     print("  speedup   : %.2fx   stat-pass reduction: %.2fx" % (
         report["speedup"], report["stat_pass_reduction"]))
+    print("  peak mem  : naive %.2f MiB, optimized %.2f MiB (per iteration)" % (
+        report["peak_naive_mib"], report["peak_optimized_mib"]))
     print("  results identical: %s" % report["results_identical"])
     if args.output:
         print("  report written to %s" % args.output)

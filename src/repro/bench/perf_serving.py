@@ -34,6 +34,7 @@ import json
 import sys
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -92,6 +93,13 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         batch_times.append(time.perf_counter() - start)
     batch_points_per_sec = args.n_queries / min(batch_times)
 
+    # Peak-memory probe (tracemalloc, reported info-only): one untimed
+    # batch predict through the index's blocked assignment plan.
+    tracemalloc.start()
+    index.predict(queries)
+    _, predict_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
     # ---- single-point reference path ------------------------------------
     n_single = min(args.n_single, args.n_queries)
     start = time.perf_counter()
@@ -141,6 +149,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         "artifact_load_seconds": load_seconds,
         "artifact_roundtrip_seconds": save_seconds + load_seconds,
         "artifact_bytes": artifact_bytes,
+        "predict_peak_mib": predict_peak / (1024.0 ** 2),
         "queries_marked_outlier": n_outliers,
         "batch_equals_single": batch_equals_single,
         "roundtrip_predictions_identical": roundtrip_identical,
@@ -198,6 +207,7 @@ def main(argv=None) -> int:
     print("  artifact round trip  : save %.4f s + load %.4f s (%.1f KiB)" % (
         report["artifact_save_seconds"], report["artifact_load_seconds"],
         report["artifact_bytes"] / 1024.0))
+    print("  predict peak memory  : %.2f MiB" % report["predict_peak_mib"])
     print("  outlier gate         : %d/%d queries rejected" % (
         report["queries_marked_outlier"], args.n_queries))
     print("  batch == single      : %s" % report["batch_equals_single"])

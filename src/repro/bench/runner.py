@@ -14,8 +14,12 @@ bit-identical no matter which worker executes it or in which order —
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import registry
@@ -40,11 +44,40 @@ class RunReport:
         return not self.failures
 
 
-def _execute_task(item: Tuple[str, str, Dict[str, object]]) -> Dict[str, object]:
-    """Process-worker entry point: resolve the scenario, run one task."""
-    scenario_id, task_name, params = item
+#: Rows kept in a task's profile table (sorted by cumulative time).
+PROFILE_TOP_N = 25
+
+
+def _execute_task(item: Tuple[str, str, Dict[str, object], Optional[str]]) -> Dict[str, object]:
+    """Process-worker entry point: resolve the scenario, run one task.
+
+    When the item carries a profile path, the task runs under
+    :mod:`cProfile` and the worker writes the top-``PROFILE_TOP_N``
+    cumulative-time table there before returning the record (profiling
+    inflates the recorded ``seconds``, which is why ``--profile`` is off
+    by default).
+    """
+    scenario_id, task_name, params, profile_path = item
     scenario = registry.get(scenario_id)
-    return scenario.run_task(TaskSpec(name=task_name, params=params))
+    task = TaskSpec(name=task_name, params=params)
+    if profile_path is None:
+        return scenario.run_task(task)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        record = scenario.run_task(task)
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+        path = Path(profile_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "profile of %s/%s (top %d by cumulative time)\n%s"
+            % (scenario_id, task_name, PROFILE_TOP_N, buffer.getvalue())
+        )
+    return record
 
 
 def run_scenarios(
@@ -54,6 +87,7 @@ def run_scenarios(
     store: RunStore,
     workers: int = 1,
     resume: bool = True,
+    profile: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> RunReport:
     """Execute ``scenarios`` at ``scale`` into ``store`` with ``workers`` shards.
@@ -62,6 +96,11 @@ def run_scenarios(
     false); failures are collected per task and reported at the end
     rather than aborting the whole run, so a partially failing suite
     still persists every completed record for the next resume.
+
+    With ``profile`` each executed task runs under :mod:`cProfile` and a
+    top-25-cumulative table lands in ``<run_dir>/profiles/`` next to the
+    run manifest (cached tasks are not re-executed, hence not profiled;
+    combine with ``resume=False`` to profile a full suite).
     """
     emit = log or (lambda message: None)
     planned: List[Tuple[Scenario, TaskSpec]] = []
@@ -95,8 +134,19 @@ def run_scenarios(
 
     failures: Dict[str, str] = {}
     executor = resolve_executor(workers)
+    profile_dir = store.root / "profiles" if profile else None
     items = [
-        (scenario.scenario_id, task.name, dict(task.params)) for scenario, task in pending
+        (
+            scenario.scenario_id,
+            task.name,
+            dict(task.params),
+            (
+                str(profile_dir / ("%s__%s.txt" % (scenario.scenario_id, task.name)))
+                if profile_dir is not None
+                else None
+            ),
+        )
+        for scenario, task in pending
     ]
     for index, outcome in _robust_imap(executor, items, emit):
         scenario, task = pending[index]
@@ -178,6 +228,7 @@ def run_suite(
     group: Optional[str] = None,
     scenario_ids: Optional[Sequence[str]] = None,
     resume: bool = True,
+    profile: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> RunReport:
     """Convenience wrapper: select scenarios from the registry and run them."""
@@ -190,5 +241,6 @@ def run_suite(
         store=RunStore(run_dir),
         workers=workers,
         resume=resume,
+        profile=profile,
         log=log,
     )

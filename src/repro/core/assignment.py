@@ -71,12 +71,16 @@ def compute_gains_matrix(
 ) -> np.ndarray:
     """The ``(n, k)`` assignment-gain matrix for the current states.
 
-    With ``fused=True`` (default) all clusters are evaluated in one
-    broadcasted pass per selected-dimension count
-    (:meth:`~repro.core.objective.ObjectiveFunction.assignment_gains_matrix`);
-    ``fused=False`` keeps the one-cluster-at-a-time reference loop.  The
-    two paths are bit-identical — the naive path exists for the
-    equivalence tests and the hot-path benchmark.
+    With ``fused=True`` (default) the matrix comes from the incremental
+    assignment engine behind
+    :meth:`~repro.core.objective.ObjectiveFunction.assignment_gains_matrix`:
+    a persistent grouped plan, blocked evaluation, and per-cluster dirty
+    tracking so that between iterations only the columns of clusters
+    that actually changed are recomputed (the returned matrix is the
+    engine's read-only cache).  ``fused=False`` keeps the
+    one-cluster-at-a-time reference loop, which always recomputes
+    everything.  The two paths are bit-identical — the naive path exists
+    for the equivalence tests and the hot-path benchmark.
     """
     n_objects = objective.n_objects
     if not fused:

@@ -64,23 +64,36 @@ def grouped_assignment_gains(
     ``points``; grouping (rather than padding) keeps every per-cluster
     reduction over exactly the same elements in the same order as a
     scalar one-cluster evaluation, so the matrix is **bit-identical** to
-    ``k`` separate passes.  This single implementation backs both
-    :meth:`ObjectiveFunction.assignment_gains_matrix` (the training hot
-    loop) and :meth:`repro.serving.index.ProjectedClusterIndex.gains_matrix`
-    (out-of-sample inference), so the training/serving equivalence
-    contract has one source of truth.
+    ``k`` separate passes.
+
+    This function is the *reference* kernel and the single source of
+    truth for the gain arithmetic.  The hot paths — the training loop
+    (:meth:`ObjectiveFunction.assignment_gains_matrix`), the serving
+    index (:meth:`repro.serving.index.ProjectedClusterIndex.gains_matrix`)
+    and, through the index, the streaming engine — are backed by the
+    stateful :class:`~repro.core.assignment_engine.AssignmentEngine`,
+    which holds the grouped stacks persistently, recomputes only dirty
+    columns against a fixed point set and evaluates in bounded row
+    blocks; its results are bit-identical to this kernel (enforced by
+    the equivalence suite and the ``perf_assignment`` bench scenario).
 
     Parameters
     ----------
     points:
-        ``(n, d)`` rows to score.
+        ``(n, d)`` rows to score.  Callers are expected to pass the
+        canonical representation (C-contiguous float64, e.g. via
+        :func:`repro.utils.validation.check_array_2d`) — the kernel
+        indexes columns directly and performs no coercion of its own.
     cluster_dimensions:
         Per-cluster selected dimension index arrays.  Clusters with an
         empty array receive a ``-inf`` column (they can never win).
     cluster_centers, cluster_thresholds:
         Per-cluster center values and thresholds, each *already
         restricted* to the cluster's selected dimensions (length
-        ``|V_i|`` arrays aligned with ``cluster_dimensions``).
+        ``|V_i|`` arrays aligned with ``cluster_dimensions``),
+        preferably already contiguous float64 — list-of-array inputs are
+        coerced here on every call, which is exactly the per-call cost
+        the persistent engine plan exists to avoid.
     """
     k = len(cluster_dimensions)
     if not (len(cluster_centers) == len(cluster_thresholds) == k):
@@ -194,6 +207,11 @@ class ObjectiveFunction:
             ):
                 raise ValueError("stats_cache was built for different data")
         self.stats_cache = stats_cache
+        # Lazily built incremental backend of assignment_gains_matrix:
+        # a persistent grouped plan plus a cached (n, k) gain matrix
+        # whose columns are recomputed only for clusters that changed.
+        self._assignment_engine = None
+        self._assignment_dirty_hints: set = set()
 
     # ------------------------------------------------------------------ #
     # basic shapes
@@ -358,15 +376,23 @@ class ObjectiveFunction:
     ) -> np.ndarray:
         """Fused assignment kernel: the full ``(n, k)`` gains matrix.
 
-        Evaluates :meth:`assignment_gains` for every cluster at once.
-        Clusters are grouped by selected-dimension count so each group is
-        one broadcasted pass over a single contiguous ``(n, g, c)`` view
-        of the data — one gather and one reduction instead of ``k``
-        Python-level passes.  Grouping (rather than padding to the
-        largest dimension set) keeps every per-cluster reduction over
-        exactly the same elements in the same order as the one-cluster
-        kernel, so the matrix is **bit-identical** to stacking ``k``
-        :meth:`assignment_gains` calls.
+        Evaluates :meth:`assignment_gains` for every cluster at once,
+        backed by the incremental
+        :class:`~repro.core.assignment_engine.AssignmentEngine`: the
+        grouped per-cluster stacks persist across calls, the submitted
+        clusters are diffed against that plan (clusters hinted via
+        :meth:`mark_assignment_dirty` skip the diff), and only the gain
+        columns of clusters that actually changed are recomputed — the
+        rest are served from the cached ``(n, k)`` matrix.  Columns are
+        evaluated in bounded row blocks through preallocated workspaces,
+        so no ``(n, g, c)`` broadcast is ever materialized.
+
+        The matrix is **bit-identical** to stacking ``k``
+        :meth:`assignment_gains` calls (and to
+        :func:`grouped_assignment_gains`): grouping keeps every
+        per-cluster reduction over exactly the same elements in the same
+        order as the one-cluster kernel, and neither caching, row
+        blocking nor dirty-only recomputation changes a single bit.
 
         Clusters with an empty dimension set receive ``-inf`` (they can
         never win an assignment), matching the assignment step's
@@ -385,8 +411,12 @@ class ObjectiveFunction:
         Returns
         -------
         numpy.ndarray
-            ``(n, k)`` matrix of per-object score gains.
+            Read-only ``(n, k)`` matrix of per-object score gains.  The
+            buffer is the engine's live cache: consume it before the
+            next ``assignment_gains_matrix`` call (copy it to keep it).
         """
+        from repro.core.assignment_engine import AssignmentEngine
+
         k = len(dimension_sets)
         if not (len(representatives) == len(cluster_sizes) == k):
             raise ValueError("representatives, dimension_sets and cluster_sizes must align")
@@ -399,4 +429,36 @@ class ObjectiveFunction:
             self.threshold.values(max(int(cluster_sizes[index]), 2))[dimensions[index]]
             for index in range(k)
         ]
-        return grouped_assignment_gains(self.data, dimensions, centers, thresholds)
+        engine = self._assignment_engine
+        if engine is None:
+            engine = self._assignment_engine = AssignmentEngine(self.data)
+        hints = self._assignment_dirty_hints
+        self._assignment_dirty_hints = set()
+        if engine.n_clusters != k:
+            engine.set_clusters(dimensions, centers, thresholds)
+        else:
+            for index in range(k):
+                engine.update_cluster(
+                    index,
+                    dimensions[index],
+                    centers[index],
+                    thresholds[index],
+                    force=index in hints,
+                )
+        gains = engine.gains().view()
+        gains.flags.writeable = False
+        return gains
+
+    def mark_assignment_dirty(self, indices) -> None:
+        """Hint that these clusters changed since the last gains call.
+
+        The dirty-tracking contract of the incremental assignment
+        backend: callers that *know* a cluster mutated (membership
+        change, median replacement, ``SelectDim`` re-run, threshold
+        refresh) report it here and the next
+        :meth:`assignment_gains_matrix` call recomputes those columns
+        unconditionally.  Unhinted clusters are still value-diffed
+        against the persistent plan, so missing a hint can never produce
+        a stale result — hints only skip the comparison.
+        """
+        self._assignment_dirty_hints.update(int(index) for index in indices)

@@ -265,6 +265,17 @@ class SSPC:
             if not self.allow_outliers:
                 labels = self._force_assign(labels, gains)
             members = members_from_labels(labels, self.n_clusters)
+            # Per-iteration membership deltas feed the incremental
+            # assignment engine's dirty tracking: a cluster whose member
+            # set changed gets a new median representative below, so its
+            # gain column must be recomputed next iteration.  (Clusters
+            # not reported are still value-diffed by the engine, so the
+            # hints are an accelerant, never a correctness obligation.)
+            changed_clusters = {
+                cluster_index
+                for cluster_index, (state, cluster_members) in enumerate(zip(states, members))
+                if not np.array_equal(state.members, cluster_members)
+            }
             for state, cluster_members in zip(states, members):
                 state.members = cluster_members
             # Re-determine selected dimensions with the actual members and
@@ -301,6 +312,12 @@ class SSPC:
                 bad_cluster, group_of_cluster, public_pool, states, rng
             )
             states = replace_representatives(objective, states, bad_cluster, new_medoid, new_dims)
+            # The bad cluster drew a brand-new medoid and every changed
+            # cluster's representative was replaced by its new median —
+            # report both to the assignment engine so the next gains
+            # call recomputes exactly those columns.
+            changed_clusters.add(bad_cluster)
+            objective.mark_assignment_dirty(changed_clusters)
 
         assert best is not None  # the loop always runs at least one iteration
         self._store_result(data, objective, best, iteration)

@@ -26,6 +26,23 @@ reduction runs over the same elements in the same order as the
 single-point kernel, the batch path is **bit-identical** to scoring each
 point on its own.
 
+Incremental-plan contract: the index holds a live
+:class:`~repro.core.assignment_engine.AssignmentEngine` plan — the
+per-cluster dimension/center/threshold arrays are validated and stacked
+*once* at construction instead of being re-coerced for every ``predict``
+batch, and every mutation that can change a gain column
+(:meth:`ProjectedClusterIndex.partial_update` folding points,
+:meth:`~ProjectedClusterIndex.add_cluster` /
+:meth:`~ProjectedClusterIndex.remove_cluster` /
+:meth:`~ProjectedClusterIndex.reanchor_cluster` /
+:meth:`~ProjectedClusterIndex.trim_projections` /
+:meth:`~ProjectedClusterIndex.refresh_threshold`) patches exactly the
+affected plan entries.  Anything else added around the index (the
+streaming engine, custom maintenance loops) must route cluster mutations
+through those methods — they are the dirty-tracking API; mutating
+``cluster_statistics`` snapshots or artifact payloads directly cannot
+reach the plan.
+
 :meth:`ProjectedClusterIndex.partial_update` folds accepted points into
 the cached per-cluster statistics without refitting: sizes / means /
 variances merge exactly via
@@ -42,8 +59,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.assignment_engine import AssignmentEngine
 from repro.core.model import OUTLIER_LABEL
-from repro.core.objective import grouped_assignment_gains
 from repro.core.stats_cache import merge_mean_variance
 from repro.core.thresholds import SelectionThreshold
 from repro.serving.artifact import ModelArtifact, load_artifact
@@ -204,6 +221,17 @@ class ProjectedClusterIndex:
             )
         self.n_updates = 0
         self.n_points_absorbed = 0
+        # The live assignment plan: per-cluster dims / centers /
+        # thresholds coerced and stacked once, then surgically patched
+        # by the mutation methods below instead of being rebuilt from
+        # the cluster list on every predict batch.
+        self._engine = AssignmentEngine()
+        specs = [self._plan_spec(cluster) for cluster in self._clusters]
+        self._engine.set_clusters(
+            [spec[0] for spec in specs],
+            [spec[1] for spec in specs],
+            [spec[2] for spec in specs],
+        )
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -262,25 +290,37 @@ class ProjectedClusterIndex:
         """Whether the cluster can win assignments at all."""
         return cluster.size > 0 and cluster.dimensions.size > 0
 
+    def _plan_spec(self, cluster: _ServingCluster):
+        """One cluster's ``(dims, center, thresholds)`` engine-plan entry.
+
+        Unservable clusters contribute an empty dimension set, which the
+        engine pins to a ``-inf`` column — matching the training-time
+        assignment step.
+        """
+        if not self._servable(cluster):
+            empty = np.empty(0)
+            return np.empty(0, dtype=int), empty, empty
+        return cluster.dimensions, cluster.center_selected, self._cluster_thresholds(cluster)
+
+    def _sync_plan(self, position: int) -> None:
+        """Re-patch one cluster's engine-plan entry after a mutation."""
+        self._engine.update_cluster(position, *self._plan_spec(self._clusters[position]))
+
     def gains_matrix(self, points: np.ndarray) -> np.ndarray:
         """The ``(n, k)`` assignment-gain matrix for a batch of points.
 
-        Delegates to the same
-        :func:`~repro.core.objective.grouped_assignment_gains` kernel the
-        training hot loop uses (one broadcasted gather-and-reduce per
-        distinct selected-dimension count); unservable clusters are
-        passed an empty dimension set and get a ``-inf`` column.
-        Bit-identical to stacking :meth:`gains_single` over the rows.
+        Evaluated by the index's persistent
+        :class:`~repro.core.assignment_engine.AssignmentEngine` plan:
+        the grouped cluster stacks survive across calls (and across
+        :meth:`partial_update` folds and lifecycle events, which patch
+        only the mutated entries), and the ``(n, g, c)`` temporaries are
+        reusable bounded workspaces rather than per-call broadcasts.
+        Bit-identical to the
+        :func:`~repro.core.objective.grouped_assignment_gains` reference
+        kernel and to stacking :meth:`gains_single` over the rows.
         """
         points = self._check_points(points)
-        empty = np.empty(0, dtype=int)
-        dimensions = [
-            cluster.dimensions if self._servable(cluster) else empty
-            for cluster in self._clusters
-        ]
-        centers = [cluster.center_selected for cluster in self._clusters]
-        thresholds = [self._cluster_thresholds(cluster) for cluster in self._clusters]
-        return grouped_assignment_gains(points, dimensions, centers, thresholds)
+        return self._engine.compute(points)
 
     def gains_single(self, point: np.ndarray) -> np.ndarray:
         """Length-``k`` gain vector for one point (reference scalar path).
@@ -432,6 +472,11 @@ class ProjectedClusterIndex:
                     cluster.center_selected = cluster.median_selected.copy()
             if self.center == "mean":
                 cluster.center_selected = cluster.mean[cluster.dimensions].copy()
+            # The fold moved this cluster's size (size-dependent
+            # thresholds) and possibly its center — patch its plan entry
+            # so the next batch scores against the new state.  Clusters
+            # that absorbed nothing keep their plan rows untouched.
+            self._sync_plan(index)
             absorbed += rows.shape[0]
         self.n_updates += 1
         self.n_points_absorbed += absorbed
@@ -532,6 +577,7 @@ class ProjectedClusterIndex:
         """
         state = self._state_from_rows(dimensions, rows, score)
         self._clusters.append(state)
+        self._engine.add_cluster(*self._plan_spec(state))
         self.n_points_absorbed += state.size
         return len(self._clusters) - 1
 
@@ -540,6 +586,7 @@ class ProjectedClusterIndex:
         if not (0 <= position < len(self._clusters)):
             raise IndexError("cluster position %d out of range" % position)
         del self._clusters[position]
+        self._engine.remove_cluster(position)
 
     def reanchor_cluster(
         self, position: int, dimensions: np.ndarray, rows: np.ndarray
@@ -556,6 +603,7 @@ class ProjectedClusterIndex:
             raise IndexError("cluster position %d out of range" % position)
         score = self._clusters[position].score
         self._clusters[position] = self._state_from_rows(dimensions, rows, score)
+        self._sync_plan(position)
 
     def trim_projections(self, position: int, keep_last: int) -> None:
         """Bound a cluster's projection buffer to its ``keep_last`` newest rows.
@@ -572,6 +620,7 @@ class ProjectedClusterIndex:
             cluster.median_selected = np.median(cluster.projections, axis=0)
             if self.center == "median":
                 cluster.center_selected = cluster.median_selected.copy()
+                self._sync_plan(position)
 
     def refresh_threshold(self, global_variance: np.ndarray) -> None:
         """Refit the served selection thresholds on new global variances.
@@ -580,9 +629,11 @@ class ProjectedClusterIndex:
         passes its running column variances here so size-dependent
         thresholds track the stream instead of the long-gone training
         snapshot.  Memoized threshold vectors are invalidated by the
-        refit.
+        refit, and every cluster's planned threshold row is re-patched.
         """
         self._threshold.fit_from_variance(global_variance)
+        for position in range(len(self._clusters)):
+            self._sync_plan(position)
 
     def export_artifact(self, *, metadata=None) -> ModelArtifact:
         """Capture the index's *current* state as a fresh :class:`ModelArtifact`.

@@ -26,7 +26,18 @@ unbounded point stream flows through it, without ever refitting:
 
 Clusters carry *stable ids*: batch results are labeled with ids that
 survive spawns and retirements, so downstream accuracy accounting works
-across lifecycle events.  :meth:`StreamingSSPC.checkpoint` persists the
+across lifecycle events.
+
+Dirty-tracking contract: the serving index holds a persistent
+:class:`~repro.core.assignment_engine.AssignmentEngine` plan that is
+reused across micro-batches rather than rebuilt per batch — steady-state
+batches pay only the blocked gain evaluation.  The engine above must
+therefore mutate clusters *only* through the index's maintenance API
+(``partial_update`` and the lifecycle methods ``add_cluster`` /
+``remove_cluster`` / ``reanchor_cluster`` / ``trim_projections`` /
+``refresh_threshold``), which patch the affected plan entries; this
+module does exactly that, so a drift-free stream stays bit-identical to
+driving a bare index.  :meth:`StreamingSSPC.checkpoint` persists the
 engine through the existing model-artifact format (see
 :mod:`repro.stream.checkpoint`); a restored engine continues the stream
 bit-identically to one that never stopped.

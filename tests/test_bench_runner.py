@@ -232,6 +232,48 @@ class TestSharding:
         )
 
 
+class TestProfiling:
+    def test_profile_writes_top25_tables_next_to_manifest(self, demo_scenario, tmp_path):
+        scenario, _ = demo_scenario
+        store = RunStore(tmp_path / "profiled")
+        report = run_scenarios(
+            [scenario], scale="smoke", store=store, workers=1, profile=True
+        )
+        assert report.ok
+        profiles = sorted((store.root / "profiles").glob("demo_runner__task-*.txt"))
+        assert len(profiles) == 3
+        text = profiles[0].read_text()
+        assert "cumulative" in text
+        assert "top 25" in text
+
+    def test_profile_off_by_default(self, demo_scenario, tmp_path):
+        scenario, _ = demo_scenario
+        store = RunStore(tmp_path / "plain")
+        report = run_scenarios([scenario], scale="smoke", store=store, workers=1)
+        assert report.ok
+        assert not (store.root / "profiles").exists()
+
+    def test_profiled_records_resume_like_normal_ones(self, demo_scenario, tmp_path):
+        scenario, counter_dir = demo_scenario
+        store = RunStore(tmp_path / "resume-profiled")
+        run_scenarios([scenario], scale="smoke", store=store, workers=1, profile=True)
+        executed = _executions(counter_dir)
+        report = run_scenarios([scenario], scale="smoke", store=store, workers=1)
+        assert report.ok
+        assert _executions(counter_dir) == executed  # all cached
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork")
+    def test_profile_works_under_process_sharding(self, demo_scenario, tmp_path):
+        scenario, _ = demo_scenario
+        store = RunStore(tmp_path / "profiled-sharded")
+        report = run_scenarios(
+            [scenario], scale="smoke", store=store, workers=3, profile=True
+        )
+        assert report.ok
+        profiles = sorted((store.root / "profiles").glob("demo_runner__task-*.txt"))
+        assert len(profiles) == 3
+
+
 class TestExecutors:
     def test_serial_and_thread_map_preserve_order(self):
         items = list(range(7))
