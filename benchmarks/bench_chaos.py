@@ -1,0 +1,17 @@
+"""Thin wrapper: the chaos benchmark lives in the library.
+
+The fault-injection core is :mod:`repro.bench.chaos`, shared with the
+``repro-bench`` orchestrator (scenario ``chaos``).  Run either::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+    PYTHONPATH=src python -m repro.bench run --suite smoke --scenario chaos
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.chaos import main
+
+if __name__ == "__main__":
+    sys.exit(main())

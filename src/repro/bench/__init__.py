@@ -16,8 +16,10 @@ for convenience.
 from repro.bench.config import DEFAULT_SCALE, SCALES, resolve_scale, task_budget_seconds
 from repro.bench.scenario import MetricSpec, Scenario, ScenarioSummary, TaskSpec
 from repro.utils.executor import (
+    ExecutorTaskError,
     ProcessExecutor,
     SerialExecutor,
+    TaskFault,
     ThreadExecutor,
     resolve_executor,
 )
@@ -25,11 +27,13 @@ from repro.utils.executor import (
 __all__ = [
     "DEFAULT_SCALE",
     "SCALES",
+    "ExecutorTaskError",
     "MetricSpec",
     "ProcessExecutor",
     "Scenario",
     "ScenarioSummary",
     "SerialExecutor",
+    "TaskFault",
     "TaskSpec",
     "ThreadExecutor",
     "resolve_executor",

@@ -78,6 +78,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario_ids=args.scenarios,
         resume=not args.no_resume,
         profile=args.profile,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
         log=print,
     )
     store = RunStore(args.run_dir)
@@ -166,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "top-25-cumulative table per task into "
                                  "<run-dir>/profiles/ (off by default: profiling "
                                  "inflates the recorded timings)")
+    run_parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                            help="kill and retry any task running longer than this "
+                                 "(workers > 1 only; default: no deadline)")
+    run_parser.add_argument("--task-retries", type=int, default=1, metavar="N",
+                            help="retry a crashed/timed-out task up to N times before "
+                                 "reporting it failed (default: 1)")
     run_parser.add_argument("--write-baseline", metavar="PATH", default=None,
                             help="also write the aggregated metrics as a baseline file")
     _add_selection_arguments(run_parser)

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import registry
-from repro.utils.executor import resolve_executor
+from repro.utils.executor import TaskFault, resolve_executor
 from repro.bench.scenario import Scenario, ScenarioSummary, TaskSpec
 from repro.bench.store import RunStore
 
@@ -38,6 +38,7 @@ class RunReport:
     n_cached: int = 0
     n_executed: int = 0
     failures: Dict[str, str] = field(default_factory=dict)
+    n_quarantined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -88,6 +89,8 @@ def run_scenarios(
     workers: int = 1,
     resume: bool = True,
     profile: bool = False,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 1,
     log: Optional[Callable[[str], None]] = None,
 ) -> RunReport:
     """Execute ``scenarios`` at ``scale`` into ``store`` with ``workers`` shards.
@@ -96,6 +99,14 @@ def run_scenarios(
     false); failures are collected per task and reported at the end
     rather than aborting the whole run, so a partially failing suite
     still persists every completed record for the next resume.
+
+    Execution is fault tolerant under ``workers > 1``: each task runs in
+    its own process, a worker killed by the OS or stuck past
+    ``task_timeout`` seconds fails only its own task, and failed
+    attempts are retried up to ``task_retries`` times (deterministic
+    backoff) before the task is reported as failed — a nightly suite
+    survives one flaky shard.  Scenario-raised exceptions are captured
+    inside the worker and are never retried (they are deterministic).
 
     With ``profile`` each executed task runs under :mod:`cProfile` and a
     top-25-cumulative table lands in ``<run_dir>/profiles/`` next to the
@@ -133,7 +144,9 @@ def run_scenarios(
     )
 
     failures: Dict[str, str] = {}
-    executor = resolve_executor(workers)
+    executor = resolve_executor(
+        workers, task_timeout=task_timeout, max_retries=task_retries
+    )
     profile_dir = store.root / "profiles" if profile else None
     items = [
         (
@@ -151,6 +164,14 @@ def run_scenarios(
     for index, outcome in _robust_imap(executor, items, emit):
         scenario, task = pending[index]
         key = "%s/%s" % (scenario.scenario_id, task.name)
+        if isinstance(outcome, TaskFault):
+            failures[key] = "task %s after %d attempt(s): %s" % (
+                outcome.kind,
+                outcome.attempts,
+                outcome.message,
+            )
+            emit("FAIL %s: %s" % (key, failures[key].splitlines()[-1]))
+            continue
         if isinstance(outcome, _TaskFailure):
             failures[key] = outcome.message
             emit("FAIL %s: %s" % (key, outcome.message.splitlines()[-1]))
@@ -158,6 +179,12 @@ def run_scenarios(
         store.write_record(outcome)
         cached[(scenario.scenario_id, task.name)] = outcome
         emit("done %s (%.2fs)" % (key, outcome["seconds"]))
+
+    if store.quarantined:
+        emit(
+            "quarantined %d corrupt record(s) under %s (re-run instead of skipped)"
+            % (store.n_quarantined, store.root / "quarantine")
+        )
 
     summaries: Dict[str, ScenarioSummary] = {}
     for scenario in scenarios:
@@ -189,6 +216,7 @@ def run_scenarios(
         n_cached=len(planned) - len(pending),
         n_executed=len(pending) - sum(1 for key in failures if "/" in key),
         failures=failures,
+        n_quarantined=store.n_quarantined,
     )
 
 
@@ -229,6 +257,8 @@ def run_suite(
     scenario_ids: Optional[Sequence[str]] = None,
     resume: bool = True,
     profile: bool = False,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 1,
     log: Optional[Callable[[str], None]] = None,
 ) -> RunReport:
     """Convenience wrapper: select scenarios from the registry and run them."""
@@ -242,5 +272,7 @@ def run_suite(
         workers=workers,
         resume=resume,
         profile=profile,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
         log=log,
     )

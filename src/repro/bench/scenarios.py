@@ -21,6 +21,14 @@ from typing import Dict, List, Mapping, Sequence
 import numpy as np
 
 from repro.bench import registry
+from repro.bench.chaos import (
+    PAPER_CONFIG as _CHAOS_PAPER,
+    REDUCED_CONFIG as _CHAOS_REDUCED,
+    SMOKE_CONFIG as _CHAOS_SMOKE,
+    chaos_aggregate,
+    chaos_execute,
+    chaos_plan,
+)
 from repro.bench.scenario import MetricSpec, Scenario, TaskSpec
 from repro.bench.perf_assignment import run_benchmark as run_assignment_benchmark
 from repro.bench.perf_hotpath import run_benchmark as run_hotpath_benchmark
@@ -1762,6 +1770,32 @@ registry.register(
             MetricSpec("artifact_roundtrip_seconds", "timing"),
             MetricSpec("predict_peak_mib", "info"),
             MetricSpec("queries_marked_outlier", "info"),
+        ),
+    )
+)
+
+registry.register(
+    Scenario(
+        scenario_id="chaos",
+        figure="reliability",
+        title="Chaos: checkpoint recovery, corruption detection, executor faults",
+        group="chaos",
+        scale_configs={
+            "smoke": dict(_CHAOS_SMOKE),
+            "reduced": dict(_CHAOS_REDUCED),
+            "paper": dict(_CHAOS_PAPER),
+        },
+        plan=chaos_plan,
+        execute=chaos_execute,
+        aggregate=chaos_aggregate,
+        metrics=(
+            # Every gate is a deterministic count under seeded faults, so
+            # absolute match/zero tolerances are safe on any machine.
+            MetricSpec("recovered_bit_identical", "accuracy", "match", 0.0),
+            MetricSpec("corruption_detection_rate", "accuracy", "match", 0.0),
+            MetricSpec("silent_corruptions", "accuracy", "lower", 0.0),
+            MetricSpec("executor_fault_tolerant", "accuracy", "match", 0.0),
+            MetricSpec("n_faults_injected", "info"),
         ),
     )
 )

@@ -6,57 +6,87 @@ Layout of a run directory::
         manifest.json                      # run identity + planned tasks
         summary.json                       # aggregated metrics (run end)
         <scenario_id>/<task>-<hash>.json   # one record per completed task
+        quarantine/                        # corrupt payloads, moved aside
 
 Records are keyed by the task's *config hash* (scenario id + task name +
 parameters + schema version), so a record is only ever reused for the
 exact configuration that produced it: interrupted runs resume without
 re-executing completed tasks, and any configuration or schema change
-invalidates stale records automatically.  All writes are atomic
-(temp file + rename) so a killed run never leaves a corrupt record.
+invalidates stale records automatically.  All writes go through
+:mod:`repro.reliability.atomic` (temp + fsync + rename, self-checksum
+stamped), so a killed run never leaves a half-written record — and a
+record that *is* damaged (bit rot, torn write from an older tool) is
+quarantined, counted and re-run rather than silently skipped: the run
+summary reports every quarantined payload.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
 from repro.bench.scenario import SCHEMA_VERSION, ScenarioSummary, TaskSpec
+from repro.reliability import IntegrityError, atomic_write_json, read_json
 
 MANIFEST_NAME = "manifest.json"
 SUMMARY_NAME = "summary.json"
+QUARANTINE_DIR = "quarantine"
 
 
 class StoreError(RuntimeError):
     """Raised when a run directory cannot be (re)used."""
 
 
-def _atomic_write_json(path: Path, payload: Mapping[str, object]) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    os.replace(tmp, path)
-
-
-def _read_json(path: Path) -> Optional[Dict[str, object]]:
-    if not path.is_file():
-        return None
-    try:
-        with open(path) as handle:
-            return json.load(handle)
-    except (OSError, ValueError):
-        # A record truncated by a hard kill is treated as absent: the
-        # task simply re-executes.
-        return None
-
-
 class RunStore:
-    """One run directory: manifest, per-task records and the summary."""
+    """One run directory: manifest, per-task records and the summary.
+
+    ``store.quarantined`` lists every corrupt payload this instance
+    moved aside (record label, original path, quarantine path, reason);
+    the runner surfaces it and :meth:`write_summary` persists it.
+    """
 
     def __init__(self, root):
         self.root = Path(root)
+        self.quarantined: List[Dict[str, str]] = []
+
+    # ---- corruption handling -------------------------------------------
+
+    def _read_json(self, path: Path, *, label: str) -> Optional[Dict[str, object]]:
+        """Read a store payload; quarantine (never silently skip) corruption."""
+        if not path.is_file():
+            return None
+        try:
+            return read_json(path, verify=True)
+        except IntegrityError as exc:
+            reason = str(exc)
+        except (OSError, ValueError) as exc:
+            reason = "unreadable: %s" % exc
+        self._quarantine(path, label, reason)
+        return None
+
+    def _quarantine(self, path: Path, label: str, reason: str) -> None:
+        quarantine = self.root / QUARANTINE_DIR
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / ("%03d-%s" % (len(self.quarantined), path.name))
+        try:
+            os.replace(path, target)
+            moved = str(target)
+        except OSError:
+            moved = ""
+        self.quarantined.append(
+            {
+                "payload": label,
+                "source": str(path),
+                "quarantined_to": moved,
+                "reason": reason,
+            }
+        )
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
 
     # ---- manifest ------------------------------------------------------
 
@@ -65,7 +95,7 @@ class RunStore:
         return self.root / MANIFEST_NAME
 
     def load_manifest(self) -> Optional[Dict[str, object]]:
-        return _read_json(self.manifest_path)
+        return self._read_json(self.manifest_path, label="manifest")
 
     def write_manifest(
         self,
@@ -94,7 +124,7 @@ class RunStore:
                 "tasks": {task.name: task.config_hash(scenario_id) for task in tasks},
             }
         self.root.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(self.manifest_path, manifest)
+        atomic_write_json(self.manifest_path, manifest)
         return manifest
 
     # ---- task records --------------------------------------------------
@@ -103,8 +133,14 @@ class RunStore:
         return self.root / scenario_id / ("%s-%s.json" % (task.name, task.config_hash(scenario_id)))
 
     def load_record(self, scenario_id: str, task: TaskSpec) -> Optional[Dict[str, object]]:
-        """The stored record for ``task``, or ``None`` if absent/stale."""
-        record = _read_json(self.record_path(scenario_id, task))
+        """The stored record for ``task``, or ``None`` if absent/stale.
+
+        A corrupt record (truncated by a hard kill, bit-rotted, failing
+        its checksum) is quarantined and reported, and the task simply
+        re-executes.
+        """
+        label = "%s/%s" % (scenario_id, task.name)
+        record = self._read_json(self.record_path(scenario_id, task), label=label)
         if record is None:
             return None
         if record.get("schema_version") != SCHEMA_VERSION:
@@ -117,7 +153,7 @@ class RunStore:
         path = self.root / str(record["scenario_id"])
         path.mkdir(parents=True, exist_ok=True)
         target = path / ("%s-%s.json" % (record["task"], record["config_hash"]))
-        _atomic_write_json(target, record)
+        atomic_write_json(target, record)
         return target
 
     # ---- summary -------------------------------------------------------
@@ -127,7 +163,7 @@ class RunStore:
         return self.root / SUMMARY_NAME
 
     def load_summary(self) -> Optional[Dict[str, object]]:
-        return _read_json(self.summary_path)
+        return self._read_json(self.summary_path, label="summary")
 
     def write_summary(
         self,
@@ -152,6 +188,16 @@ class RunStore:
             if key.split("/")[0] not in summaries
         }
         merged_failures.update(dict(failures or {}))
+        # Quarantine entries accumulate across runs into the same store;
+        # dedup by quarantine target so repeated summaries from one
+        # long-lived store instance don't double-report.
+        quarantined = list(existing.get("quarantined", {}).get("entries", []))
+        seen = {(entry.get("source"), entry.get("quarantined_to")) for entry in quarantined}
+        for entry in self.quarantined:
+            key = (entry["source"], entry["quarantined_to"])
+            if key not in seen:
+                quarantined.append(entry)
+                seen.add(key)
         payload = {
             "schema_version": SCHEMA_VERSION,
             "run_id": manifest.get("run_id", "unknown"),
@@ -159,7 +205,8 @@ class RunStore:
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "scenarios": merged,
             "failures": merged_failures,
+            "quarantined": {"count": len(quarantined), "entries": quarantined},
         }
         self.root.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(self.summary_path, payload)
+        atomic_write_json(self.summary_path, payload)
         return payload

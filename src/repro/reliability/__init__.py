@@ -1,0 +1,84 @@
+"""Crash-safe durability primitives shared by every persistence layer.
+
+Three pieces, layered:
+
+* :mod:`repro.reliability.integrity` — SHA-256 content checksums for
+  arrays and JSON payloads, and the typed :class:`IntegrityError`
+  raised whenever a durable payload fails verification.
+* :mod:`repro.reliability.atomic` — temp + fsync + rename writes for
+  files and whole directories (manifest-last protocol), plus
+  checksum-verified JSON reads.
+* :mod:`repro.reliability.faults` — seeded, replayable fault injection
+  (torn writes, blocked renames, ENOSPC, crashes, worker SIGKILL, task
+  stalls) threaded through the write path and the process executor, so
+  the durability contract is *demonstrated* under failure, not assumed.
+
+Consumed by :mod:`repro.serving.artifact` (model artifacts),
+:mod:`repro.stream.checkpoint` (checkpoint generations with rollback),
+:mod:`repro.bench.store` (resumable run records with quarantine) and
+:mod:`repro.utils.executor` (fault-tolerant process execution).
+"""
+
+from repro.reliability.integrity import (
+    CHECKSUM_KEY,
+    IntegrityError,
+    array_checksum,
+    checksum_arrays,
+    payload_checksum,
+    require_key,
+    sha256_hex,
+    stamp_checksum,
+    verify_array_checksums,
+    verify_stamp,
+)
+from repro.reliability.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    TASK_KINDS,
+    WRITE_KINDS,
+    active,
+    active_plan,
+)
+from repro.reliability.atomic import (
+    TEMP_MARKER,
+    atomic_write_bytes,
+    atomic_write_dir,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+    read_json,
+    remove_stale_temps,
+    stamp_json_file,
+)
+
+__all__ = [
+    "CHECKSUM_KEY",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "IntegrityError",
+    "TASK_KINDS",
+    "TEMP_MARKER",
+    "WRITE_KINDS",
+    "active",
+    "active_plan",
+    "array_checksum",
+    "atomic_write_bytes",
+    "atomic_write_dir",
+    "atomic_write_json",
+    "atomic_write_text",
+    "checksum_arrays",
+    "fsync_directory",
+    "payload_checksum",
+    "read_json",
+    "remove_stale_temps",
+    "require_key",
+    "sha256_hex",
+    "stamp_checksum",
+    "stamp_json_file",
+    "verify_array_checksums",
+    "verify_stamp",
+]

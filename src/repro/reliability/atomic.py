@@ -1,0 +1,223 @@
+"""Crash-safe file and directory writes (temp + fsync + rename).
+
+Every durable write in this repository goes through this module, which
+gives all of them the same contract:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write_json` — the payload is written to a same-directory
+  temp file, flushed and fsynced, then renamed over the target.  A kill
+  at *any* point leaves either the old content or the new content at the
+  target path, never a truncated hybrid; the worst debris is a stale
+  ``*.tmp-*`` file, which :func:`remove_stale_temps` clears.
+* :func:`atomic_write_dir` — multi-file payloads (an artifact, a
+  checkpoint generation) are staged in a temp sibling directory and
+  renamed into place as a unit.  Writers put the manifest last inside
+  the staging block, so even the staging directory is never
+  manifest-complete-but-arrays-torn.
+* :func:`atomic_write_json` stamps the payload with a self-checksum
+  (:data:`~repro.reliability.integrity.CHECKSUM_KEY`); :func:`read_json`
+  verifies and strips it, raising
+  :class:`~repro.reliability.integrity.IntegrityError` on parse failure
+  or mismatch.
+
+The three fault hooks of :mod:`repro.reliability.faults` are threaded
+through every step, which is how the corruption tests kill the write
+path at each individual syscall and assert the invariant above.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import shutil
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Union
+
+from repro.reliability import faults
+from repro.reliability.faults import InjectedCrash
+from repro.reliability.integrity import (
+    CHECKSUM_KEY,
+    IntegrityError,
+    stamp_checksum,
+    verify_stamp,
+)
+
+PathLike = Union[str, Path]
+
+#: Substring marking in-flight temp files/directories (safe to delete at rest).
+TEMP_MARKER = ".tmp-"
+
+_TEMP_COUNTER = itertools.count()
+
+__all__ = [
+    "TEMP_MARKER",
+    "atomic_write_bytes",
+    "atomic_write_dir",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "read_json",
+    "remove_stale_temps",
+    "stamp_json_file",
+]
+
+
+def _temp_sibling(path: Path) -> Path:
+    return path.with_name("%s%s%d-%d" % (path.name, TEMP_MARKER, os.getpid(), next(_TEMP_COUNTER)))
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # some filesystems refuse directory fsync; the rename is still atomic
+    finally:
+        os.close(fd)
+
+
+def remove_stale_temps(directory: PathLike) -> int:
+    """Delete leftover ``*.tmp-*`` debris from interrupted writes."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.iterdir():
+        if TEMP_MARKER not in entry.name:
+            continue
+        try:
+            if entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+            else:
+                entry.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, *, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with ``data`` (temp + fsync + rename)."""
+    path = Path(path)
+    tmp = _temp_sibling(path)
+    try:
+        with open(tmp, "wb") as handle:
+            faults.guarded_write(handle, bytes(data), path)
+            handle.flush()
+            if fsync:
+                faults.before_fsync(path)
+                os.fsync(handle.fileno())
+        faults.before_rename(path)
+        os.replace(tmp, path)
+    except InjectedCrash:
+        raise  # a simulated kill leaves its partial temp file behind, like a real one
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str, *, fsync: bool = True) -> Path:
+    """Atomically replace ``path`` with UTF-8 ``text``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: Mapping[str, object],
+    *,
+    stamp: bool = True,
+    fsync: bool = True,
+) -> Path:
+    """Atomically write a JSON payload, self-checksummed by default."""
+    body: Mapping[str, object] = stamp_checksum(payload) if stamp else payload
+    text = json.dumps(body, indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(path, text, fsync=fsync)
+
+
+def read_json(path: PathLike, *, verify: bool = True) -> Dict[str, object]:
+    """Read a JSON payload, verifying and stripping its checksum stamp.
+
+    Raises :class:`IntegrityError` when the file does not parse or its
+    stamp mismatches (``verify=True``); a payload without a stamp is a
+    legacy write and is accepted unverified.  Missing files raise
+    :class:`FileNotFoundError` as usual.
+    """
+    path = Path(path)
+    with open(path, "r") as handle:
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        if verify:
+            raise IntegrityError(
+                "%s is not valid JSON (%s): the file is corrupt or truncated" % (path, exc),
+                path=path,
+            ) from exc
+        raise
+    if not isinstance(payload, dict):
+        raise IntegrityError("%s does not hold a JSON object" % path, path=path)
+    if verify:
+        verify_stamp(payload, path=path)
+    payload.pop(CHECKSUM_KEY, None)
+    return payload
+
+
+def stamp_json_file(path: PathLike) -> Path:
+    """Re-stamp a JSON file's self-checksum after an in-place edit.
+
+    Test helper: corruption tests (and schema-migration tooling) edit
+    manifests directly and then re-stamp so only the *intended* change
+    is visible to verification.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    payload.pop(CHECKSUM_KEY, None)
+    return atomic_write_json(path, payload, stamp=True)
+
+
+@contextmanager
+def atomic_write_dir(path: PathLike) -> Iterator[Path]:
+    """Stage a directory payload and rename it into place as a unit.
+
+    Yields a temp sibling directory for the caller to populate; on
+    clean exit the staging directory replaces ``path`` (an existing
+    target is swapped out and removed).  On error the staging directory
+    is deleted — except under an :class:`InjectedCrash`, which leaves
+    the debris a real kill would.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = _temp_sibling(path)
+    staging.mkdir()
+    try:
+        yield staging
+    except InjectedCrash:
+        raise
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    faults.before_rename(path)
+    if path.exists():
+        displaced = _temp_sibling(path)
+        os.rename(path, displaced)
+        try:
+            os.rename(staging, path)
+        except BaseException:
+            os.rename(displaced, path)
+            raise
+        shutil.rmtree(displaced, ignore_errors=True)
+    else:
+        os.rename(staging, path)
+    fsync_directory(path.parent)

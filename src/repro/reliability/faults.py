@@ -1,0 +1,267 @@
+"""Deterministic fault injection for the durability and execution layers.
+
+Durability claims are only worth what can be demonstrated under
+failure, so the atomic write path exposes three injection points —
+``write``, ``fsync`` and ``rename`` — and consults the *active*
+:class:`FaultPlan` at each one.  A plan is a seeded, reproducible list
+of :class:`FaultSpec` entries saying "at the k-th write, tear the file
+after j bytes", "block the 2nd rename with EACCES", "crash before the
+fsync".  The chaos benchmark scenario and the corruption tests replay
+the same plan to get the same failure, every run, on every machine.
+
+Two fault families:
+
+* **Write-path faults** (``op`` in ``write`` / ``fsync`` / ``rename``):
+  fired synchronously inside :mod:`repro.reliability.atomic` while the
+  plan is :func:`active`.  ``crash`` and ``torn`` raise
+  :class:`InjectedCrash` — the in-process stand-in for ``kill -9``,
+  deliberately leaving partial temp files behind; ``enospc`` and
+  ``rename_blocked`` raise a real :class:`OSError` with the matching
+  ``errno`` so production error handling is exercised.
+* **Task faults** (``op == "task"``): applied by worker processes via
+  :meth:`FaultPlan.apply_task_fault`, which SIGKILLs or stalls the
+  *first* attempt of the chosen task.  A latch file under a caller-owned
+  directory makes "first attempt only" deterministic across processes,
+  which is what lets the executor's retry path be asserted exactly.
+
+An activated plan also records every operation it observes in
+``plan.operations`` — run a save once under an empty plan to learn the
+write trace, then seed faults at every position of that trace (the
+kill-at-every-write-syscall test does exactly this).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Write-path fault kinds, in the order :meth:`FaultPlan.seeded` cycles them.
+WRITE_KINDS = ("torn", "crash", "enospc", "rename_blocked")
+#: Executor fault kinds.
+TASK_KINDS = ("sigkill", "stall")
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "TASK_KINDS",
+    "WRITE_KINDS",
+    "active",
+    "active_plan",
+]
+
+
+class InjectedFault(Exception):
+    """Base class of every synthetically injected failure."""
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated hard kill: the write path stops mid-operation.
+
+    Handlers must treat this like the process dying — partial temp
+    files are intentionally left on disk so recovery code faces exactly
+    what a real ``kill -9`` leaves behind.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    op:
+        Injection point: ``"write"``, ``"fsync"``, ``"rename"`` on the
+        durability path, or ``"task"`` for executor faults.
+    index:
+        For write-path ops: fire on the ``index``-th occurrence of
+        ``op`` observed by the plan (0-based).  For ``"task"``: the
+        task's item index.
+    kind:
+        One of :data:`WRITE_KINDS` (write path) or :data:`TASK_KINDS`.
+    after_bytes:
+        ``torn`` / ``enospc`` writes commit this many leading bytes
+        before failing.
+    seconds:
+        Sleep duration of a ``stall`` task fault.
+    """
+
+    op: str
+    index: int
+    kind: str
+    after_bytes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, replayable list of faults plus the observed op trace."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    #: Operations observed while the plan was active: ``(op, path)`` pairs.
+    operations: List[Tuple[str, str]] = field(default_factory=list)
+    #: Specs that actually fired, in firing order.
+    fired: List[FaultSpec] = field(default_factory=list)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        trace: Sequence[Tuple[str, str]],
+        *,
+        n_faults: int = 1,
+        kinds: Sequence[str] = WRITE_KINDS,
+    ) -> "FaultPlan":
+        """Plan ``n_faults`` write-path faults at seeded positions of ``trace``.
+
+        ``trace`` is the operation list recorded by a previous (clean)
+        activation — typically one probe save.  Positions and kinds are
+        drawn from ``numpy.random.default_rng(seed)``, so the same seed
+        and trace always plan the same faults.
+        """
+        if not trace:
+            raise ValueError("cannot seed a fault plan from an empty operation trace")
+        rng = np.random.default_rng(int(seed))
+        count = min(int(n_faults), len(trace))
+        picks = sorted(int(p) for p in rng.choice(len(trace), size=count, replace=False))
+        specs: List[FaultSpec] = []
+        for pick in picks:
+            op = trace[pick][0]
+            occurrence = sum(1 for other, _ in trace[:pick] if other == op)
+            kind = str(kinds[int(rng.integers(len(kinds)))])
+            if op == "fsync" and kind in ("torn", "enospc", "rename_blocked"):
+                kind = "crash"  # only a crash makes sense at the fsync point
+            if op == "rename" and kind in ("torn", "enospc"):
+                kind = "rename_blocked"
+            if op == "write" and kind == "rename_blocked":
+                kind = "torn"
+            specs.append(
+                FaultSpec(
+                    op=op,
+                    index=occurrence,
+                    kind=kind,
+                    after_bytes=int(rng.integers(0, 256)),
+                )
+            )
+        return cls(specs=specs)
+
+    # ---- write-path injection (called from repro.reliability.atomic) ----
+
+    def _observe(self, op: str, path: str) -> Optional[FaultSpec]:
+        """Record one operation; return the spec that fires at it, if any."""
+        occurrence = sum(1 for other, _ in self.operations if other == op)
+        self.operations.append((op, path))
+        for spec in self.specs:
+            if spec.op == op and spec.index == occurrence:
+                self.fired.append(spec)
+                return spec
+        return None
+
+    # ---- executor injection (called from worker processes) --------------
+
+    def task_spec(self, index: int) -> Optional[FaultSpec]:
+        """The planned fault for task item ``index``, if any."""
+        for spec in self.specs:
+            if spec.op == "task" and spec.index == int(index):
+                return spec
+        return None
+
+    def apply_task_fault(self, index: int, latch_dir: PathLike) -> bool:
+        """Fire the planned fault for task ``index``, at most once.
+
+        Called by the task function inside the worker process.  The
+        latch file under ``latch_dir`` survives the worker's death, so
+        retries of the same task skip the fault — which is precisely the
+        "flaky once, fine on retry" failure the executor must absorb.
+        Returns whether a fault fired (``stall`` returns after waking).
+        """
+        spec = self.task_spec(index)
+        if spec is None:
+            return False
+        latch = Path(latch_dir) / ("task-fault-%d" % int(index))
+        try:
+            latch.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        if spec.kind == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif spec.kind == "stall":
+            time.sleep(spec.seconds)
+        else:
+            raise ValueError("unknown task fault kind %r" % spec.kind)
+        return True
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+@contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block (this process only)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently active plan, or ``None`` outside fault testing."""
+    return _ACTIVE
+
+
+# ---- hooks used by the atomic write path --------------------------------
+
+
+def guarded_write(handle, data: bytes, path: PathLike) -> None:
+    """Write ``data`` to ``handle``, honouring any active write fault."""
+    plan = _ACTIVE
+    spec = plan._observe("write", str(path)) if plan is not None else None
+    if spec is None:
+        handle.write(data)
+        return
+    if spec.kind in ("torn", "enospc"):
+        handle.write(data[: max(0, min(spec.after_bytes, len(data)))])
+        handle.flush()
+        if spec.kind == "torn":
+            raise InjectedCrash(
+                "injected torn write: killed after %d of %d bytes of %s"
+                % (min(spec.after_bytes, len(data)), len(data), path)
+            )
+        raise OSError(errno.ENOSPC, "injected ENOSPC writing %s" % path)
+    if spec.kind == "crash":
+        raise InjectedCrash("injected crash before writing %s" % path)
+    raise ValueError("unknown write fault kind %r" % spec.kind)
+
+
+def before_fsync(path: PathLike) -> None:
+    """Fault hook fired immediately before an fsync of ``path``."""
+    plan = _ACTIVE
+    spec = plan._observe("fsync", str(path)) if plan is not None else None
+    if spec is None:
+        return
+    raise InjectedCrash("injected crash before fsync of %s" % path)
+
+
+def before_rename(path: PathLike) -> None:
+    """Fault hook fired immediately before the commit rename onto ``path``."""
+    plan = _ACTIVE
+    spec = plan._observe("rename", str(path)) if plan is not None else None
+    if spec is None:
+        return
+    if spec.kind == "rename_blocked":
+        raise OSError(errno.EACCES, "injected blocked rename onto %s" % path)
+    raise InjectedCrash("injected crash before rename onto %s" % path)

@@ -30,11 +30,24 @@ Schema versioning: ``SCHEMA_VERSION`` is written into every manifest;
 :func:`load_artifact` refuses manifests from a newer schema (forward
 compatibility is never silently guessed at) and upgrades older ones
 explicitly when a migration exists.
+
+Durability (schema 2): :meth:`ModelArtifact.save` is crash-safe — the
+whole directory is staged and renamed into place via
+:func:`~repro.reliability.atomic.atomic_write_dir` with the manifest
+written last, so a kill at any point leaves either the previous
+artifact or the new one, never a torn hybrid.  The manifest records a
+SHA-256 checksum per array plus a self-checksum over its own canonical
+form; :func:`load_artifact` verifies both and raises a typed
+:class:`~repro.reliability.integrity.IntegrityError` naming the damaged
+payload.  Schema-1 artifacts (no checksums) still load, unverified.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -44,11 +57,21 @@ import numpy as np
 from repro.core.model import ClusteringResult
 from repro.core.stats_cache import ClusterStatsCache
 from repro.core.thresholds import SelectionThreshold, make_threshold
+from repro.reliability import (
+    IntegrityError,
+    atomic_write_bytes,
+    atomic_write_dir,
+    atomic_write_json,
+    checksum_arrays,
+    require_key,
+    verify_array_checksums,
+    verify_stamp,
+)
 
 PathLike = Union[str, Path]
 
 ARTIFACT_FORMAT = "repro-sspc-artifact"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
@@ -366,12 +389,14 @@ class ModelArtifact:
     def save(self, path: PathLike) -> Path:
         """Persist the artifact to directory ``path`` (created if needed).
 
-        Writes ``manifest.json`` (schema version + scalar metadata) and
-        ``arrays.npz`` (every array at full precision).  Returns the
-        directory path.
+        Writes ``manifest.json`` (schema version + scalar metadata +
+        per-array checksums) and ``arrays.npz`` (every array at full
+        precision).  The directory is staged and renamed into place as
+        a unit with the manifest last, so a kill mid-save leaves either
+        the previous artifact or the new one — never a torn mix.
+        Returns the directory path.
         """
         directory = Path(path)
-        directory.mkdir(parents=True, exist_ok=True)
 
         arrays: Dict[str, np.ndarray] = {
             "labels": self.labels,
@@ -393,7 +418,9 @@ class ModelArtifact:
 
         manifest = {
             "format": ARTIFACT_FORMAT,
-            "schema_version": int(self.schema_version),
+            # Saving always writes the current schema (checksums included),
+            # regardless of the schema the artifact was loaded from.
+            "schema_version": SCHEMA_VERSION,
             "algorithm": self.algorithm,
             "n_objects": int(self.n_objects),
             "n_dimensions": int(self.n_dimensions),
@@ -405,13 +432,14 @@ class ModelArtifact:
             "metadata": _jsonable(self.metadata),
             "includes_projections": bool(self.includes_projections),
             "arrays_file": ARRAYS_NAME,
+            "array_checksums": checksum_arrays(arrays),
         }
 
-        with (directory / MANIFEST_NAME).open("w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        with (directory / ARRAYS_NAME).open("wb") as handle:
-            np.savez_compressed(handle, **arrays)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        with atomic_write_dir(directory) as staging:
+            atomic_write_bytes(staging / ARRAYS_NAME, buffer.getvalue())
+            atomic_write_json(staging / MANIFEST_NAME, manifest)  # manifest commits last
         return directory
 
     @classmethod
@@ -423,8 +451,14 @@ class ModelArtifact:
             raise FileNotFoundError(
                 "%s is not a model artifact (missing %s)" % (directory, MANIFEST_NAME)
             )
-        with manifest_path.open("r") as handle:
-            manifest = json.load(handle)
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise IntegrityError(
+                "artifact manifest %s is not valid JSON (%s): the file is corrupt "
+                "or truncated" % (manifest_path, exc),
+                path=manifest_path,
+            ) from exc
 
         if manifest.get("format") != ARTIFACT_FORMAT:
             raise ValueError(
@@ -439,14 +473,33 @@ class ModelArtifact:
                 "artifact schema_version %d is newer than this library supports (%d); "
                 "upgrade the repro package to load it" % (schema_version, SCHEMA_VERSION)
             )
+        # Schema >= 2 manifests are self-checksummed; verify before trusting
+        # any field.  Schema-1 manifests carry no stamp and load unverified.
+        verify_stamp(manifest, path=manifest_path)
 
         arrays_path = directory / manifest.get("arrays_file", ARRAYS_NAME)
         if not arrays_path.is_file():
             raise FileNotFoundError("artifact arrays file %s is missing" % arrays_path)
-        with np.load(arrays_path) as bundle:
-            arrays = {key: bundle[key] for key in bundle.files}
+        try:
+            with np.load(arrays_path) as bundle:
+                arrays = {key: bundle[key] for key in bundle.files}
+        except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile, zlib.error) as exc:
+            raise IntegrityError(
+                "artifact arrays %s are unreadable (%s): the file is corrupt "
+                "or truncated" % (arrays_path, exc),
+                path=arrays_path,
+            ) from exc
+        verify_array_checksums(
+            arrays, manifest.get("array_checksums") or {}, path=arrays_path
+        )
 
-        n_clusters = int(manifest["n_clusters"])
+        def _field(key):
+            return require_key(manifest, key, path=manifest_path, kind="artifact manifest")
+
+        def _array(key):
+            return require_key(arrays, key, path=arrays_path, kind="artifact arrays")
+
+        n_clusters = int(_field("n_clusters"))
         scores = arrays.get("cluster_scores")
         clusters: List[ClusterModel] = []
         for index in range(n_clusters):
@@ -454,9 +507,11 @@ class ModelArtifact:
             required = ("dimensions", "members", "representative", "mean", "median", "variance")
             missing = [name for name in required if prefix + name not in arrays]
             if missing:
-                raise ValueError(
-                    "artifact arrays for cluster %d are incomplete (missing %s)"
-                    % (index, ", ".join(missing))
+                raise IntegrityError(
+                    "artifact arrays for cluster %d are incomplete in %s (missing %s)"
+                    % (index, arrays_path, ", ".join(missing)),
+                    path=arrays_path,
+                    payload=prefix + missing[0],
                 )
             clusters.append(
                 ClusterModel(
@@ -472,11 +527,11 @@ class ModelArtifact:
             )
         return cls(
             clusters=clusters,
-            labels=arrays["labels"],
-            n_objects=int(manifest["n_objects"]),
-            n_dimensions=int(manifest["n_dimensions"]),
-            threshold_description=dict(manifest["threshold"]),
-            global_variance=arrays["global_variance"],
+            labels=_array("labels"),
+            n_objects=int(_field("n_objects")),
+            n_dimensions=int(_field("n_dimensions")),
+            threshold_description=dict(_field("threshold")),
+            global_variance=_array("global_variance"),
             objective=float(manifest.get("objective", float("nan"))),
             n_iterations=int(manifest.get("n_iterations", 0)),
             algorithm=manifest.get("algorithm", ""),

@@ -11,6 +11,17 @@ Three interchangeable executors implement the same two-method protocol:
     runner uses this to persist task records incrementally so an
     interrupted run can resume from its store.
 
+:class:`ProcessExecutor` is fault tolerant: it runs **one process per
+task** (no shared pool to poison), enforces an optional per-task
+deadline, and retries failed tasks a bounded number of times with
+deterministic exponential backoff.  A worker killed by the OS (OOM
+killer, SIGKILL) fails only its own task; after the retry budget is
+exhausted the task's slot yields a :class:`TaskFault` describing what
+happened instead of silently vanishing or raising mid-iteration, so
+the caller decides how to account for it.  Workers are non-daemonic,
+so a task may itself spawn a nested ``ProcessExecutor`` (the chaos
+benchmark scenario does exactly this inside a runner shard).
+
 The process executor prefers the ``fork`` start method (registered
 scenarios and closures survive into the workers); where ``fork`` is
 unavailable it falls back to ``spawn``, which still supports the
@@ -20,11 +31,46 @@ built-in scenario registry because workers re-import it.
 from __future__ import annotations
 
 import multiprocessing
+import time
+import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+__all__ = [
+    "ExecutorTaskError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskFault",
+    "ThreadExecutor",
+    "resolve_executor",
+]
+
+
+@dataclass
+class TaskFault:
+    """Terminal failure of one task after its retry budget ran out.
+
+    ``kind`` is ``"error"`` (the function raised), ``"crash"`` (the
+    worker process died without reporting — SIGKILL, OOM, unpicklable
+    result) or ``"timeout"`` (the per-task deadline expired and the
+    worker was killed).  ``error`` carries the original exception when
+    it survived pickling back to the parent.
+    """
+
+    kind: str
+    message: str
+    attempts: int
+    error: Optional[BaseException] = None
+
+
+class ExecutorTaskError(RuntimeError):
+    """Raised by ``map`` when a task still fails after every retry."""
 
 
 class SerialExecutor:
@@ -78,39 +124,232 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("spawn")
 
 
-class ProcessExecutor:
-    """Multiprocessing fan-out used by the sharded scenario runner."""
+def _task_entry(fn, item, conn) -> None:
+    """Worker-process body: run one task, report through the pipe."""
+    try:
+        payload = ("ok", fn(item), None)
+    except BaseException as exc:  # report *everything*, the parent classifies
+        payload = ("error", exc, traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception:
+        # Unpicklable result or exception: report the traceback as text.
+        try:
+            conn.send(("error", None, traceback.format_exc()))
+        except Exception:
+            pass  # parent will see EOF and classify the task as crashed
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
-    def __init__(self, workers: int):
+
+@dataclass
+class _Running:
+    conn: object
+    process: object
+    index: int
+    attempt: int
+    deadline: Optional[float]
+
+
+class ProcessExecutor:
+    """Process-per-task fan-out with deadlines, retries and crash isolation.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrently running task processes.
+    task_timeout:
+        Per-task wall-clock deadline in seconds; an overrunning worker
+        is killed and the attempt counts as a ``timeout`` failure.
+        ``None`` disables the deadline.
+    max_retries:
+        Failed attempts (error, crash or timeout) are retried up to
+        this many times before the task yields a :class:`TaskFault`.
+    retry_backoff:
+        Base delay before retry ``n`` (1-based): ``retry_backoff *
+        2**(n-1)`` seconds — deterministic, so sequencing under faults
+        is reproducible.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.25,
+    ):
         if workers < 1:
             raise ValueError("workers must be at least 1, got %d" % workers)
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive, got %r" % task_timeout)
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative, got %d" % max_retries)
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative, got %r" % retry_backoff)
         self.workers = int(workers)
+        self.task_timeout = task_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         self._context = _preferred_context()
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         items = list(items)
-        if not items:
-            return []
-        with self._context.Pool(processes=min(self.workers, len(items))) as pool:
-            return pool.map(fn, items)
+        results: List[R] = [None] * len(items)  # type: ignore[list-item]
+        for index, outcome in self.imap_unordered(fn, items):
+            if isinstance(outcome, TaskFault):
+                if outcome.error is not None:
+                    raise outcome.error
+                raise ExecutorTaskError(
+                    "task %d failed (%s) after %d attempt(s): %s"
+                    % (index, outcome.kind, outcome.attempts, outcome.message)
+                )
+            results[index] = outcome
+        return results
 
     def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
         items = list(items)
         if not items:
             return
-        payloads = [(fn, (index, item)) for index, item in enumerate(items)]
-        with self._context.Pool(processes=min(self.workers, len(items))) as pool:
-            for index, result in pool.imap_unordered(_call_indexed, payloads):
-                yield index, result
+        yield from self._schedule(fn, items)
+
+    # ---- scheduler -------------------------------------------------------
+
+    def _schedule(self, fn, items):
+        pending = deque((index, 1) for index in range(len(items)))  # (item index, attempt)
+        backoff: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+        running: dict = {}  # conn -> _Running
+        try:
+            while pending or backoff or running:
+                now = time.monotonic()
+                due = [entry for entry in backoff if entry[0] <= now]
+                for entry in due:
+                    backoff.remove(entry)
+                    pending.append((entry[1], entry[2]))
+                while pending and len(running) < self.workers:
+                    index, attempt = pending.popleft()
+                    entry = self._launch(fn, items[index], index, attempt)
+                    running[entry.conn] = entry
+                if not running:
+                    wake = min(entry[0] for entry in backoff)
+                    delay = wake - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, 0.5))
+                    continue
+                yield from self._reap(running, pending, backoff)
+        finally:
+            for entry in running.values():
+                self._kill(entry)
+
+    def _reap(self, running, pending, backoff):
+        """Wait for one completion or deadline; settle what fired."""
+        wakeups = [entry.deadline for entry in running.values() if entry.deadline is not None]
+        wakeups.extend(entry[0] for entry in backoff)
+        timeout = None
+        if wakeups:
+            timeout = max(0.0, min(wakeups) - time.monotonic())
+        ready = mp_connection.wait(list(running), timeout=timeout)
+        for conn in ready:
+            entry = running.pop(conn)
+            yield from self._settle(entry, self._collect(entry), backoff)
+        now = time.monotonic()
+        expired = [
+            conn
+            for conn, entry in running.items()
+            if entry.deadline is not None and entry.deadline <= now
+        ]
+        for conn in expired:
+            entry = running.pop(conn)
+            self._kill(entry)
+            outcome = (
+                "timeout",
+                None,
+                "task exceeded its %.1fs deadline and was killed" % self.task_timeout,
+            )
+            yield from self._settle(entry, outcome, backoff)
+
+    def _launch(self, fn, item, index: int, attempt: int) -> _Running:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_task_entry, args=(fn, item, child_conn), daemon=False
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + self.task_timeout if self.task_timeout is not None else None
+        )
+        return _Running(
+            conn=parent_conn, process=process, index=index, attempt=attempt, deadline=deadline
+        )
+
+    def _collect(self, entry: _Running):
+        """Read the worker's report; classify a dead-silent worker as a crash."""
+        try:
+            status, value, detail = entry.conn.recv()
+        except (EOFError, OSError):
+            entry.process.join(timeout=5.0)
+            return (
+                "crash",
+                None,
+                "worker for task %d died without reporting (exitcode %s)"
+                % (entry.index, entry.process.exitcode),
+            )
+        finally:
+            try:
+                entry.conn.close()
+            except Exception:
+                pass
+        entry.process.join(timeout=5.0)
+        if status == "ok":
+            return ("ok", value, None)
+        message = detail if detail else "".join(traceback.format_exception_only(type(value), value))
+        return ("error", value, message)
+
+    def _settle(self, entry: _Running, outcome, backoff):
+        status, value, message = outcome
+        if status == "ok":
+            yield entry.index, value
+            return
+        if entry.attempt <= self.max_retries:
+            delay = self.retry_backoff * (2 ** (entry.attempt - 1))
+            backoff.append((time.monotonic() + delay, entry.index, entry.attempt + 1))
+            return
+        yield entry.index, TaskFault(
+            kind=status,
+            message=str(message),
+            attempts=entry.attempt,
+            error=value if isinstance(value, BaseException) else None,
+        )
+
+    def _kill(self, entry: _Running) -> None:
+        if entry.process.is_alive():
+            entry.process.terminate()
+            entry.process.join(timeout=0.5)
+            if entry.process.is_alive():
+                entry.process.kill()
+                entry.process.join(timeout=5.0)
+        try:
+            entry.conn.close()
+        except Exception:
+            pass
 
 
-def _call_indexed(payload):
-    fn, (index, item) = payload
-    return index, fn(item)
-
-
-def resolve_executor(workers: int):
+def resolve_executor(
+    workers: int,
+    *,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.25,
+):
     """The executor for ``workers`` shards: serial for 1, processes otherwise."""
     if workers <= 1:
         return SerialExecutor()
-    return ProcessExecutor(workers)
+    return ProcessExecutor(
+        workers,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+    )

@@ -26,10 +26,17 @@ class TestCompleteness:
         assert not missing, "benchmark scripts without a registered scenario: %s" % sorted(missing)
 
     def test_all_scenarios_registered(self):
-        assert len(registry.ids()) >= 13
+        assert len(registry.ids()) >= 14
 
     def test_groups_cover_the_ci_matrix(self):
-        assert registry.groups() == ["accuracy", "knowledge", "perf", "robustness", "stream"]
+        assert registry.groups() == [
+            "accuracy",
+            "chaos",
+            "knowledge",
+            "perf",
+            "robustness",
+            "stream",
+        ]
 
 
 class TestScenarioDeclarations:

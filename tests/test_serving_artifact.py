@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.model import ClusteringResult
 from repro.core.thresholds import ChiSquareThreshold, VarianceRatioThreshold
+from repro.reliability import stamp_json_file
 from repro.serving.artifact import (
     ARTIFACT_FORMAT,
     MANIFEST_NAME,
@@ -152,6 +153,7 @@ class TestPersistence:
         manifest = json.loads(manifest_path.read_text())
         manifest["n_clusters"] = artifact.n_clusters + 1
         manifest_path.write_text(json.dumps(manifest))
+        stamp_json_file(manifest_path)  # re-stamp: the edit is deliberate
         with pytest.raises(ValueError, match="incomplete"):
             load_artifact(path)
 

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.data.loaders import save_csv_dataset
+from repro.serving.artifact import SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION
 from repro.serving.artifact import load_artifact
 from repro.serving.cli import main
 from repro.serving.index import ProjectedClusterIndex
@@ -158,7 +159,7 @@ class TestInspect:
         description = json.loads(capsys.readouterr().out)
         assert description["n_clusters"] == fitted_sspc.n_clusters
         assert description["algorithm"] == "SSPC"
-        assert description["schema_version"] == 1
+        assert description["schema_version"] == ARTIFACT_SCHEMA_VERSION
 
     def test_human_output(self, artifact_dir, capsys):
         assert main(["inspect", "--artifact", str(artifact_dir)]) == 0

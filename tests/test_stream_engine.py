@@ -15,6 +15,7 @@ from repro.data.streams import (
 from repro.evaluation import adjusted_rand_index
 from repro.serving.index import ProjectedClusterIndex
 from repro.stream import StreamConfig, StreamingSSPC, load_checkpoint
+from repro.stream.checkpoint import resolve_checkpoint_dir
 
 STREAM_SHAPE = dict(
     n_dimensions=40,
@@ -238,7 +239,7 @@ class TestCheckpointRestore:
         engine.checkpoint(tmp_path / "ck")
         from repro.serving.artifact import load_artifact
 
-        artifact = load_artifact(tmp_path / "ck" / "model")
+        artifact = load_artifact(resolve_checkpoint_dir(tmp_path / "ck") / "model")
         assert artifact.n_objects == 900  # training labels/members survived
         assert artifact.metadata["serving_sizes"] == [
             int(size) for size in engine.index.cluster_sizes()
@@ -258,14 +259,14 @@ class TestCheckpointRestore:
         for batch in stream.batches(3, 150, start=3):
             engine.process_batch(batch.data)
         engine.checkpoint(tmp_path / "ck")
-        artifact = load_artifact(tmp_path / "ck" / "model")
+        artifact = load_artifact(resolve_checkpoint_dir(tmp_path / "ck") / "model")
         assert artifact.metadata["absorbed_points"] == engine.index.n_points_absorbed
         # ... and a restored engine keeps the running total correct.
         resumed = load_checkpoint(tmp_path / "ck")
         for batch in stream.batches(2, 150, start=6):
             resumed.process_batch(batch.data)
         resumed.checkpoint(tmp_path / "ck")
-        artifact = load_artifact(tmp_path / "ck" / "model")
+        artifact = load_artifact(resolve_checkpoint_dir(tmp_path / "ck") / "model")
         assert artifact.metadata["absorbed_points"] == (
             engine.index.n_points_absorbed + resumed.index.n_points_absorbed
         )
@@ -279,7 +280,7 @@ class TestCheckpointRestore:
         engine.checkpoint(tmp_path / "ck")
         from repro.serving.artifact import load_artifact
 
-        artifact = load_artifact(tmp_path / "ck" / "model")
+        artifact = load_artifact(resolve_checkpoint_dir(tmp_path / "ck") / "model")
         assert artifact.n_objects == 0  # no training payload for adapted state
         assert artifact.n_clusters == engine.n_clusters
 

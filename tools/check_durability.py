@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Lint: durability-path modules must write through the atomic helpers.
+
+Every module that persists state the rest of the system depends on —
+model artifacts, stream checkpoints, benchmark run records, and the
+reliability layer itself — must route writes through
+``repro.reliability.atomic`` (temp + fsync + rename).  A bare
+``open(path, "w")`` or ``Path.write_text`` on one of these paths can
+tear under a crash and silently corrupt the store, which is exactly the
+failure class the reliability layer exists to rule out.
+
+The check is AST-based: it flags any ``open(...)`` call with a
+write/append/create mode and any ``.write_text(...)`` /
+``.write_bytes(...)`` attribute call inside the scanned modules.
+``repro/reliability/atomic.py`` itself is exempt — it is the one place
+allowed to touch file handles directly.
+
+Run from the repository root (CI does)::
+
+    python tools/check_durability.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Modules whose writes must be atomic.
+DURABILITY_PATHS = (
+    "src/repro/serving/artifact.py",
+    "src/repro/stream/checkpoint.py",
+    "src/repro/bench/store.py",
+    "src/repro/reliability",
+)
+
+#: The one module allowed to open file handles for writing.
+EXEMPT = ("src/repro/reliability/atomic.py",)
+
+WRITE_MODE_CHARS = set("wax+")
+FORBIDDEN_ATTRIBUTES = ("write_text", "write_bytes")
+
+
+def _open_mode(call: ast.Call) -> str:
+    """The literal mode argument of an ``open`` call, or '' if unknown."""
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return ""  # dynamic mode: treat as suspect
+
+
+def scan_file(path: Path):
+    """Yield ``(line, message)`` for every non-atomic write in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if not mode or WRITE_MODE_CHARS & set(mode):
+                yield node.lineno, "open(..., %r) — use repro.reliability.atomic" % mode
+        elif isinstance(func, ast.Attribute) and func.attr in FORBIDDEN_ATTRIBUTES:
+            yield node.lineno, ".%s(...) — use repro.reliability.atomic" % func.attr
+
+
+def collect_targets():
+    for entry in DURABILITY_PATHS:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.is_file():
+            yield path
+
+
+def run() -> int:
+    exempt = {REPO_ROOT / entry for entry in EXEMPT}
+    violations = []
+    scanned = 0
+    for path in collect_targets():
+        if path in exempt:
+            continue
+        scanned += 1
+        for line, message in scan_file(path):
+            violations.append("%s:%d: %s" % (path.relative_to(REPO_ROOT), line, message))
+    for violation in violations:
+        print(violation)
+    print(
+        "checked %d durability module(s): %d violation(s)" % (scanned, len(violations)),
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
