@@ -1,0 +1,12 @@
+#!/usr/bin/env python
+"""Observability overhead gate (see repro.bench.perf_obs).
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
+"""
+
+import sys
+
+from repro.bench.perf_obs import main
+
+if __name__ == "__main__":
+    sys.exit(main())

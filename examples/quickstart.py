@@ -8,7 +8,9 @@ artifact, reload it (as a fresh process would), and assign new
 out-of-sample points to the learned projected clusters.  The last section
 shows the streaming lifecycle: generate a drifting stream, keep the model
 current with :class:`~repro.stream.StreamingSSPC`, checkpoint mid-stream
-and resume exactly where it stopped.
+and resume exactly where it stopped.  The final section traces a small
+fit with :mod:`repro.obs` and writes a Chrome trace-event file you can
+drop into https://ui.perfetto.dev to see every fit phase as a span.
 
 Run with:  python examples/quickstart.py
 """
@@ -164,6 +166,35 @@ def main() -> None:
         print("live clusters: %d (stable ids %s), %d spawned, %d drift refreshes"
               % (resumed.n_clusters, resumed.cluster_ids,
                  resumed.n_spawned, resumed.n_drift_refreshes))
+
+    # ------------------------------------------------------------------ #
+    # Observability: trace a fit and inspect it in Perfetto.
+    # ------------------------------------------------------------------ #
+    from repro import obs
+    from repro.obs import chrome_trace, write_chrome_trace
+
+    with obs.recording() as recorder:
+        SSPC(n_clusters=5, m=0.5, random_state=0).fit(dataset.data)
+
+    print()
+    print("traced fit: %d spans, %d hook crossings" % (
+        len(recorder.spans), recorder.n_hook_calls))
+    by_category = {}
+    for span in recorder.spans:
+        by_category.setdefault(span["cat"], []).append(span["dur"])
+    for category, durations in sorted(by_category.items()):
+        print("  %-8s %4d spans, %.1f ms total"
+              % (category, len(durations), sum(durations) * 1e3))
+    print("per-iteration membership deltas: %s"
+          % [int(v) for v in recorder.histograms["fit.changed_clusters"]])
+
+    trace_path = Path(tempfile.gettempdir()) / "sspc-fit-trace.json"
+    write_chrome_trace(trace_path, recorder)
+    print("Chrome trace written to %s — open it in https://ui.perfetto.dev"
+          % trace_path)
+    print("(or inspect it from the shell: repro-obs report --trace %s)" % trace_path)
+    # The same document is available in-memory, e.g. for tests:
+    assert chrome_trace(recorder)["traceEvents"]
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.bench import registry
 from repro.bench.compare import baseline_from_summary, compare_run, load_baseline
 from repro.bench.config import SCALES, resolve_scale
@@ -70,18 +71,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = resolve_scale(args.suite)
-    report = run_suite(
-        scale=scale,
-        run_dir=args.run_dir,
-        workers=args.workers,
-        group=args.group,
-        scenario_ids=args.scenarios,
-        resume=not args.no_resume,
-        profile=args.profile,
-        task_timeout=args.task_timeout,
-        task_retries=args.task_retries,
-        log=print,
-    )
+    with obs.trace_session(args.trace, args.metrics_out, log=print):
+        report = run_suite(
+            scale=scale,
+            run_dir=args.run_dir,
+            workers=args.workers,
+            group=args.group,
+            scenario_ids=args.scenarios,
+            resume=not args.no_resume,
+            profile=args.profile,
+            task_timeout=args.task_timeout,
+            task_retries=args.task_retries,
+            log=print,
+        )
     store = RunStore(args.run_dir)
     summary = store.load_summary() or {}
     print()
@@ -176,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "reporting it failed (default: 1)")
     run_parser.add_argument("--write-baseline", metavar="PATH", default=None,
                             help="also write the aggregated metrics as a baseline file")
+    run_parser.add_argument("--trace", metavar="PATH", default=None, type=Path,
+                            help="record spans for the whole run and write a Chrome "
+                                 "trace-event JSON there (load in ui.perfetto.dev)")
+    run_parser.add_argument("--metrics-out", metavar="PATH", default=None, type=Path,
+                            help="write a checksummed metrics snapshot (counters, "
+                                 "histograms, events) for the run")
     _add_selection_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 

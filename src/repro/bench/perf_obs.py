@@ -1,0 +1,232 @@
+"""Observability overhead gate: instrumentation must be provably cheap.
+
+The workload is one deterministic tour through every instrumented
+subsystem — an SSPC fit, a block of streaming batches, a serve
+predict/partial-update pass and a (serial) executor job — fingerprinted
+by hashing every label array it produces.  Three claims are gated:
+
+* **disabled overhead < 2%** — with no recorder installed every hook is
+  one module-global load plus an ``is None`` test.  Timing that
+  directly is hopeless (it vanishes into scheduler noise), so the gate
+  is an *upper bound*: the enabled run counts every hook crossing
+  (``recorder.n_hook_calls``), a tight loop measures the worst-case
+  per-call cost of a disabled hook, and their product over the
+  disabled workload's wall clock bounds the relative overhead.
+* **bit identity** — the fingerprint with a recorder installed equals
+  the fingerprint without one: observability never perturbs results.
+* **subsystem coverage** — the enabled run's trace spans at least four
+  distinct categories (fit, engine, stream, serve, executor), so the
+  instrumentation cannot silently rot away.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
+
+The committed baselines live in ``BENCH_smoke.json`` /
+``BENCH_reduced.json`` through the ``repro-bench`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.core.sspc import SSPC
+from repro.data.generator import SyntheticDataGenerator
+from repro.serving.index import ProjectedClusterIndex
+from repro.stream import StreamConfig, StreamingSSPC
+from repro.utils.executor import SerialExecutor
+
+#: Gate: estimated disabled-path overhead must stay under this.
+MAX_DISABLED_OVERHEAD_PCT = 2.0
+
+#: Gate: the enabled run must span at least this many subsystems.
+MIN_SUBSYSTEM_CATEGORIES = 4
+
+#: Calls used to measure the per-call cost of a disabled hook.
+PROBE_CALLS = 200_000
+
+
+def _executor_leg(item: int) -> int:
+    return item * item
+
+
+def run_workload(args: argparse.Namespace) -> str:
+    """One deterministic pass through fit / stream / serve / executor.
+
+    Returns a fingerprint hash of every produced label array; identical
+    inputs must yield an identical fingerprint whether or not a
+    recorder is installed.
+    """
+    dataset = SyntheticDataGenerator(
+        n_objects=args.n_objects,
+        n_dimensions=args.n_dimensions,
+        n_clusters=args.n_clusters,
+        avg_cluster_dimensionality=max(args.n_dimensions // 10, 3),
+        outlier_fraction=0.05,
+        random_state=args.seed,
+    ).generate(args.seed)
+    digest = hashlib.sha256()
+
+    model = SSPC(
+        n_clusters=args.n_clusters,
+        m=0.5,
+        max_iterations=args.fit_iterations,
+        random_state=args.seed,
+    ).fit(dataset.data)
+    digest.update(np.ascontiguousarray(model.labels_).tobytes())
+    digest.update(np.float64(model.objective_).tobytes())
+
+    engine = StreamingSSPC(
+        model.to_artifact(),
+        config=StreamConfig(seed=args.seed, drift_check_every=2, lifecycle_every=4),
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    for _ in range(args.stream_batches):
+        result = engine.process_batch(
+            rng.normal(size=(args.batch_size, args.n_dimensions))
+        )
+        digest.update(np.ascontiguousarray(result.labels).tobytes())
+
+    index = ProjectedClusterIndex(model.to_artifact())
+    queries = rng.normal(size=(args.batch_size, args.n_dimensions))
+    labels = index.predict(queries)
+    index.partial_update(queries, labels)
+    digest.update(np.ascontiguousarray(labels).tobytes())
+
+    squares = SerialExecutor().map(_executor_leg, list(range(16)))
+    digest.update(np.asarray(squares, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def measure_disabled_hook_seconds() -> float:
+    """Worst-case per-call cost of a hook with no recorder installed."""
+    with obs.suspended():
+        per_call = []
+        for hook in (lambda: obs.incr("probe"), lambda: obs.span("probe")):
+            start = time.perf_counter()
+            for _ in range(PROBE_CALLS):
+                hook()
+            per_call.append((time.perf_counter() - start) / PROBE_CALLS)
+    return max(per_call)
+
+
+def run_benchmark(args: argparse.Namespace) -> dict:
+    # ---- disabled arm: plain wall clock, shielded from outer recorders
+    disabled_times = []
+    fingerprint_disabled = ""
+    with obs.suspended():
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            fingerprint_disabled = run_workload(args)
+            disabled_times.append(time.perf_counter() - start)
+    disabled_seconds = min(disabled_times)
+
+    # ---- enabled arm: a fresh recorder captures the whole workload
+    with obs.recording() as recorder:
+        start = time.perf_counter()
+        fingerprint_enabled = run_workload(args)
+        enabled_seconds = time.perf_counter() - start
+        n_hook_calls = recorder.n_hook_calls
+        n_spans = len(recorder.spans)
+        categories = {span["cat"] for span in recorder.spans}
+
+    per_hook_seconds = measure_disabled_hook_seconds()
+    # Upper bound: every hook the enabled run crossed, priced at the
+    # measured disabled per-call cost, relative to the real workload.
+    overhead_disabled_pct = 100.0 * n_hook_calls * per_hook_seconds / disabled_seconds
+    overhead_enabled_pct = 100.0 * (enabled_seconds - disabled_seconds) / disabled_seconds
+
+    return {
+        "config": {
+            "n_objects": args.n_objects,
+            "n_dimensions": args.n_dimensions,
+            "n_clusters": args.n_clusters,
+            "fit_iterations": args.fit_iterations,
+            "stream_batches": args.stream_batches,
+            "batch_size": args.batch_size,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "n_hook_calls": n_hook_calls,
+        "per_hook_disabled_ns": per_hook_seconds * 1e9,
+        "overhead_disabled_pct": overhead_disabled_pct,
+        "overhead_enabled_pct": overhead_enabled_pct,
+        "overhead_disabled_ok": overhead_disabled_pct < MAX_DISABLED_OVERHEAD_PCT,
+        "enabled_bit_identical": fingerprint_disabled == fingerprint_enabled,
+        "categories": sorted(categories),
+        "subsystem_coverage_ok": len(categories) >= MIN_SUBSYSTEM_CATEGORIES,
+        "n_spans": n_spans,
+        "fingerprint": fingerprint_disabled,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-objects", type=int, default=2000)
+    parser.add_argument("--n-dimensions", type=int, default=60)
+    parser.add_argument("--n-clusters", type=int, default=8)
+    parser.add_argument("--fit-iterations", type=int, default=8)
+    parser.add_argument("--stream-batches", type=int, default=8)
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="disabled-arm runs; the best is the denominator")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n_objects = min(args.n_objects, 500)
+        args.n_dimensions = min(args.n_dimensions, 24)
+        args.n_clusters = min(args.n_clusters, 4)
+        args.fit_iterations = min(args.fit_iterations, 4)
+        args.stream_batches = min(args.stream_batches, 4)
+        args.batch_size = min(args.batch_size, 100)
+
+    report = run_benchmark(args)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+
+    print("observability overhead gate (n=%d, d=%d, k=%d)" % (
+        args.n_objects, args.n_dimensions, args.n_clusters))
+    print("  workload (disabled)  : %.3f s (best of %d)" % (
+        report["disabled_seconds"], args.repeats))
+    print("  workload (enabled)   : %.3f s (%+.1f%% — noisy, info only)" % (
+        report["enabled_seconds"], report["overhead_enabled_pct"]))
+    print("  hook crossings       : %d at %.1f ns each (disabled)" % (
+        report["n_hook_calls"], report["per_hook_disabled_ns"]))
+    print("  disabled overhead    : %.4f%% (bound; gate < %.1f%%)" % (
+        report["overhead_disabled_pct"], MAX_DISABLED_OVERHEAD_PCT))
+    print("  bit identical        : %s" % report["enabled_bit_identical"])
+    print("  subsystems spanned   : %s" % ", ".join(report["categories"]))
+    if args.output:
+        print("  report written to %s" % args.output)
+
+    failed = []
+    if not report["overhead_disabled_ok"]:
+        failed.append("disabled overhead %.3f%% breaches the %.1f%% gate"
+                      % (report["overhead_disabled_pct"], MAX_DISABLED_OVERHEAD_PCT))
+    if not report["enabled_bit_identical"]:
+        failed.append("results diverge when a recorder is installed")
+    if not report["subsystem_coverage_ok"]:
+        failed.append("trace covers %d subsystem(s), need %d"
+                      % (len(report["categories"]), MIN_SUBSYSTEM_CATEGORIES))
+    for message in failed:
+        print("ERROR: %s" % message, file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

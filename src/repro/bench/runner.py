@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
+import re
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +51,21 @@ class RunReport:
 PROFILE_TOP_N = 25
 
 
+def profile_filename(scenario_id: str, task: TaskSpec) -> str:
+    """Collision-free profile filename for one (scenario, task) pair.
+
+    Sanitised names alone are ambiguous (scenario ``a__b`` / task ``c``
+    collides with ``a`` / ``b__c``), so the task's config hash — which
+    already folds in the scenario id — disambiguates.
+    """
+    clean = lambda part: re.sub(r"[^A-Za-z0-9._-]+", "-", part)  # noqa: E731
+    return "%s__%s-%s.txt" % (
+        clean(scenario_id),
+        clean(task.name),
+        task.config_hash(scenario_id)[:8],
+    )
+
+
 def _execute_task(item: Tuple[str, str, Dict[str, object], Optional[str]]) -> Dict[str, object]:
     """Process-worker entry point: resolve the scenario, run one task.
 
@@ -74,10 +91,13 @@ def _execute_task(item: Tuple[str, str, Dict[str, object], Optional[str]]) -> Di
         stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
         path = Path(profile_path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
+        # pid-keyed temp + rename: parallel shards can never tear a file
+        temp = path.with_name("%s.%d.tmp" % (path.name, os.getpid()))
+        temp.write_text(
             "profile of %s/%s (top %d by cumulative time)\n%s"
             % (scenario_id, task_name, PROFILE_TOP_N, buffer.getvalue())
         )
+        os.replace(temp, path)
     return record
 
 
@@ -154,7 +174,7 @@ def run_scenarios(
             task.name,
             dict(task.params),
             (
-                str(profile_dir / ("%s__%s.txt" % (scenario.scenario_id, task.name)))
+                str(profile_dir / profile_filename(scenario.scenario_id, task))
                 if profile_dir is not None
                 else None
             ),

@@ -32,6 +32,7 @@ from repro.bench.chaos import (
 from repro.bench.scenario import MetricSpec, Scenario, TaskSpec
 from repro.bench.perf_assignment import run_benchmark as run_assignment_benchmark
 from repro.bench.perf_hotpath import run_benchmark as run_hotpath_benchmark
+from repro.bench.perf_obs import run_benchmark as run_obs_benchmark
 from repro.bench.perf_serving import run_benchmark as run_serving_benchmark
 from repro.bench.perf_stream import run_benchmark as run_stream_benchmark
 from repro.data.generator import make_projected_clusters
@@ -911,6 +912,52 @@ def _aggregate_serving(payloads: Sequence[Mapping[str, object]]) -> Dict[str, ob
     }
 
 
+def _execute_obs(params: Mapping[str, object]) -> Dict[str, object]:
+    args = argparse.Namespace(
+        n_objects=int(params["n_objects"]),
+        n_dimensions=int(params["n_dimensions"]),
+        n_clusters=int(params["n_clusters"]),
+        fit_iterations=int(params["fit_iterations"]),
+        stream_batches=int(params["stream_batches"]),
+        batch_size=int(params["batch_size"]),
+        repeats=int(params["repeats"]),
+        seed=int(params["seed"]),
+        smoke=False,
+    )
+    return run_obs_benchmark(args)
+
+
+def _aggregate_obs(payloads: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    report = dict(payloads[0])
+    table = "\n".join(
+        [
+            "workload (disabled) : %.3f s" % report["disabled_seconds"],
+            "workload (enabled)  : %.3f s (%+.1f%%, info only)"
+            % (report["enabled_seconds"], report["overhead_enabled_pct"]),
+            "hook crossings      : %d at %.1f ns disabled"
+            % (report["n_hook_calls"], report["per_hook_disabled_ns"]),
+            "disabled overhead   : %.4f%% (bound; gate < 2%%)"
+            % report["overhead_disabled_pct"],
+            "bit identical       : %s" % report["enabled_bit_identical"],
+            "subsystems spanned  : %s" % ", ".join(report["categories"]),
+        ]
+    )
+    return {
+        "metrics": {
+            "overhead_disabled_ok": 1.0 if report["overhead_disabled_ok"] else 0.0,
+            "enabled_bit_identical": 1.0 if report["enabled_bit_identical"] else 0.0,
+            "subsystem_coverage_ok": 1.0 if report["subsystem_coverage_ok"] else 0.0,
+            "overhead_disabled_pct": float(report["overhead_disabled_pct"]),
+            "overhead_enabled_pct": float(report["overhead_enabled_pct"]),
+            "n_hook_calls": float(report["n_hook_calls"]),
+            "per_hook_disabled_ns": float(report["per_hook_disabled_ns"]),
+            "n_subsystems": float(len(report["categories"])),
+        },
+        "table": table,
+        "details": {"report": report},
+    }
+
+
 def _execute_assignment(params: Mapping[str, object]) -> Dict[str, object]:
     args = argparse.Namespace(
         n_objects=int(params["n_objects"]),
@@ -1583,6 +1630,64 @@ registry.register(
             MetricSpec("optimized_seconds_per_iteration", "timing"),
             MetricSpec("peak_naive_mib", "info"),
             MetricSpec("peak_optimized_mib", "info"),
+        ),
+    )
+)
+
+registry.register(
+    Scenario(
+        scenario_id="obs_overhead",
+        figure="perf",
+        title="Observability cost gate: <2% disabled overhead, bit-identical enabled",
+        group="perf",
+        scale_configs={
+            "smoke": {
+                "n_objects": 500,
+                "n_dimensions": 24,
+                "n_clusters": 4,
+                "fit_iterations": 4,
+                "stream_batches": 4,
+                "batch_size": 100,
+                "repeats": 3,
+                "seed": 23,
+            },
+            "reduced": {
+                "n_objects": 2000,
+                "n_dimensions": 60,
+                "n_clusters": 8,
+                "fit_iterations": 8,
+                "stream_batches": 8,
+                "batch_size": 200,
+                "repeats": 3,
+                "seed": 23,
+            },
+            "paper": {
+                "n_objects": 5000,
+                "n_dimensions": 100,
+                "n_clusters": 10,
+                "fit_iterations": 10,
+                "stream_batches": 12,
+                "batch_size": 400,
+                "repeats": 3,
+                "seed": 23,
+            },
+        },
+        plan=_plan_single,
+        execute=_execute_obs,
+        aggregate=_aggregate_obs,
+        metrics=(
+            # The three gates are boolean (1.0 = pass) and exact: the
+            # overhead bound is computed from counted hook crossings, so
+            # it is deterministic up to per-hook timing jitter that sits
+            # orders of magnitude under the 2% bar.
+            MetricSpec("overhead_disabled_ok", "accuracy", "higher", 0.0),
+            MetricSpec("enabled_bit_identical", "accuracy", "higher", 0.0),
+            MetricSpec("subsystem_coverage_ok", "accuracy", "higher", 0.0),
+            MetricSpec("overhead_disabled_pct", "info"),
+            MetricSpec("overhead_enabled_pct", "info"),
+            MetricSpec("n_hook_calls", "info"),
+            MetricSpec("per_hook_disabled_ns", "info"),
+            MetricSpec("n_subsystems", "info"),
         ),
     )
 )

@@ -27,6 +27,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
+from repro import obs
 from repro.bench.scenario import SCHEMA_VERSION, ScenarioSummary, TaskSpec
 from repro.reliability import IntegrityError, atomic_write_json, read_json
 
@@ -83,6 +84,10 @@ class RunStore:
                 "reason": reason,
             }
         )
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.incr("bench.quarantined")
+            recorder.event("quarantine", payload=label, source=str(path), reason=reason)
 
     @property
     def n_quarantined(self) -> int:
@@ -113,7 +118,7 @@ class RunStore:
             )
         manifest = {
             "schema_version": SCHEMA_VERSION,
-            "run_id": run_id or existing.get("run_id") or ("run-%d" % int(time.time())),
+            "run_id": run_id or existing.get("run_id") or ("run-%d" % int(obs.wall_time())),
             "scale": scale,
             "created_at": existing.get("created_at") or time.strftime("%Y-%m-%dT%H:%M:%S"),
             "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

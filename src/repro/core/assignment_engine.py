@@ -55,6 +55,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["AssignmentEngine", "DEFAULT_BLOCK_ROWS"]
 
 #: Default number of rows evaluated per block.  The effective block also
@@ -345,29 +347,36 @@ class AssignmentEngine:
         if self._gains is None or self._gains.shape != (n, k):
             self._gains = np.full((n, k), -np.inf)
             self._dirty = set(range(k))
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.incr("engine.gains_calls")
+            recorder.incr("engine.columns_recomputed", float(len(self._dirty)))
+            recorder.observe("engine.dirty_fraction", len(self._dirty) / k if k else 0.0)
         if self._dirty:
-            by_count: Dict[int, List[int]] = {}
-            for index in sorted(self._dirty):
-                count = self._dims[index].size
-                if count == 0:
-                    self._gains[:, index] = -np.inf
-                else:
-                    by_count.setdefault(count, []).append(index)
-            for count, ids in by_count.items():
-                group = self._groups[count]
-                if len(ids) == group.cluster_ids.shape[0]:
-                    dims, centers, thresholds = group.dims, group.centers, group.thresholds
-                else:
-                    rows = [self._slot[i][1] for i in ids]
-                    dims = group.dims[rows]
-                    centers = group.centers[rows]
-                    thresholds = group.thresholds[rows]
-                self._evaluate_columns(
-                    self._points, np.asarray(ids, dtype=np.intp), dims, centers,
-                    thresholds, self._gains,
-                )
-            self.n_columns_recomputed += len(self._dirty)
-            self._dirty.clear()
+            with obs.span("engine.recompute", category="engine",
+                          dirty=len(self._dirty), n_clusters=k, rows=n):
+                by_count: Dict[int, List[int]] = {}
+                for index in sorted(self._dirty):
+                    count = self._dims[index].size
+                    if count == 0:
+                        self._gains[:, index] = -np.inf
+                    else:
+                        by_count.setdefault(count, []).append(index)
+                for count, ids in by_count.items():
+                    group = self._groups[count]
+                    if len(ids) == group.cluster_ids.shape[0]:
+                        dims, centers, thresholds = group.dims, group.centers, group.thresholds
+                    else:
+                        rows = [self._slot[i][1] for i in ids]
+                        dims = group.dims[rows]
+                        centers = group.centers[rows]
+                        thresholds = group.thresholds[rows]
+                    self._evaluate_columns(
+                        self._points, np.asarray(ids, dtype=np.intp), dims, centers,
+                        thresholds, self._gains,
+                    )
+                self.n_columns_recomputed += len(self._dirty)
+                self._dirty.clear()
         self.n_gains_calls += 1
         return self._gains
 
@@ -386,11 +395,16 @@ class AssignmentEngine:
             if out.shape != (n, k):
                 raise ValueError("out has shape %s, expected %s" % (out.shape, (n, k)))
             out.fill(-np.inf)
-        for group in self._groups.values():
-            self._evaluate_columns(
-                points, group.cluster_ids, group.dims, group.centers,
-                group.thresholds, out,
-            )
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.incr("engine.compute_calls")
+            recorder.observe("engine.compute_rows", float(n))
+        with obs.span("engine.compute", category="engine", rows=n, n_clusters=k):
+            for group in self._groups.values():
+                self._evaluate_columns(
+                    points, group.cluster_ids, group.dims, group.centers,
+                    group.thresholds, out,
+                )
         return out
 
     def _evaluate_columns(

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.assignment import ClusterState, assign_objects, members_from_labels
 from repro.core.dimension_selection import select_dimensions
 from repro.core.model import ClusteringResult, ProjectedCluster
@@ -181,6 +182,7 @@ class SSPC:
         self.objective_: float = float("nan")
         self.n_iterations_: int = 0
         self.stats_cache_: Optional[ClusterStatsCache] = None
+        self.stats_cache_counters_: Optional[Dict[str, float]] = None
         self.threshold_ = None
         self._serving_artifact = None
         self._serving_indexes: Dict[str, object] = {}
@@ -228,6 +230,11 @@ class SSPC:
             workspace = self._stats_cache_factory(
                 data, max_entries=self.stats_cache_max_entries
             )
+        # Hit/miss/eviction counters are reported per fit: a factory may
+        # hand back a shared cache whose entries (and counters) survive
+        # across estimators, so zero the counters — keeping the cached
+        # entries — before this run starts.
+        workspace.reset_counters()
         objective = ObjectiveFunction(data, threshold, stats_cache=workspace)
         self.stats_cache_ = workspace
         self.threshold_ = threshold
@@ -235,93 +242,124 @@ class SSPC:
         self._serving_artifact = None
         self._serving_indexes = {}
 
-        private_groups, public_groups = SeedGroupBuilder(
-            objective,
-            self.n_clusters,
-            knowledge,
-            grid_dimensions=self.grid_dimensions,
-            grids_per_group=self.grids_per_group,
-            bins_per_dimension=self.bins_per_dimension,
-            public_group_factor=self.public_group_factor,
-            seed_selection_p=self.seed_selection_p,
-        ).build(rng)
+        with obs.span(
+            "fit",
+            category="fit",
+            n_objects=int(data.shape[0]),
+            n_dimensions=int(data.shape[1]),
+            n_clusters=self.n_clusters,
+        ) as fit_span:
+            with obs.span("fit.seed_groups", category="fit"):
+                private_groups, public_groups = SeedGroupBuilder(
+                    objective,
+                    self.n_clusters,
+                    knowledge,
+                    grid_dimensions=self.grid_dimensions,
+                    grids_per_group=self.grids_per_group,
+                    bins_per_dimension=self.bins_per_dimension,
+                    public_group_factor=self.public_group_factor,
+                    seed_selection_p=self.seed_selection_p,
+                ).build(rng)
 
-        states, group_of_cluster, public_pool = self._initial_states(
-            objective, private_groups, public_groups, rng
-        )
-
-        best: Optional[_IterationSnapshot] = None
-        stale_iterations = 0
-        iteration = 0
-        while iteration < self.max_iterations and stale_iterations < self.patience:
-            iteration += 1
-            labels, gains = assign_objects(
-                objective,
-                states,
-                knowledge=knowledge,
-                constraints=constraints,
-                return_gains=True,
+            states, group_of_cluster, public_pool = self._initial_states(
+                objective, private_groups, public_groups, rng
             )
-            if not self.allow_outliers:
-                labels = self._force_assign(labels, gains)
-            members = members_from_labels(labels, self.n_clusters)
-            # Per-iteration membership deltas feed the incremental
-            # assignment engine's dirty tracking: a cluster whose member
-            # set changed gets a new median representative below, so its
-            # gain column must be recomputed next iteration.  (Clusters
-            # not reported are still value-diffed by the engine, so the
-            # hints are an accelerant, never a correctness obligation.)
-            changed_clusters = {
-                cluster_index
-                for cluster_index, (state, cluster_members) in enumerate(zip(states, members))
-                if not np.array_equal(state.members, cluster_members)
-            }
-            for state, cluster_members in zip(states, members):
-                state.members = cluster_members
-            # Re-determine selected dimensions with the actual members and
-            # compute the objective with the actual medians (step 4).
-            for cluster_index, state in enumerate(states):
-                forced = knowledge.dimensions.for_class(cluster_index)
-                forced = forced if forced.size else None
-                state.dimensions = select_dimensions(
-                    objective, state.members, forced_dimensions=forced
-                )
-            phi_scores, overall = compute_phi_scores(objective, states)
 
-            if best is None or overall > best.objective + 1e-12:
-                # A single deep copy of the state arrays suffices — the
-                # snapshot constructor already receives fresh copies.
-                best = _IterationSnapshot(
-                    states=[state.copy() for state in states],
-                    labels=labels.copy(),
-                    phi_scores=list(phi_scores),
-                    objective=float(overall),
-                )
-                stale_iterations = 0
-            else:
-                stale_iterations += 1
-                # Restore the best clustering before modifying it (step 5).
-                states = [state.copy() for state in best.states]
-                phi_scores = list(best.phi_scores)
+            best: Optional[_IterationSnapshot] = None
+            stale_iterations = 0
+            iteration = 0
+            while iteration < self.max_iterations and stale_iterations < self.patience:
+                iteration += 1
+                with obs.span("fit.iteration", category="fit", iteration=iteration) as it_span:
+                    with obs.span("fit.assign", category="fit"):
+                        labels, gains = assign_objects(
+                            objective,
+                            states,
+                            knowledge=knowledge,
+                            constraints=constraints,
+                            return_gains=True,
+                        )
+                        if not self.allow_outliers:
+                            labels = self._force_assign(labels, gains)
+                    members = members_from_labels(labels, self.n_clusters)
+                    # Per-iteration membership deltas feed the incremental
+                    # assignment engine's dirty tracking: a cluster whose member
+                    # set changed gets a new median representative below, so its
+                    # gain column must be recomputed next iteration.  (Clusters
+                    # not reported are still value-diffed by the engine, so the
+                    # hints are an accelerant, never a correctness obligation.)
+                    changed_clusters = {
+                        cluster_index
+                        for cluster_index, (state, cluster_members) in enumerate(zip(states, members))
+                        if not np.array_equal(state.members, cluster_members)
+                    }
+                    it_span.set(changed_clusters=len(changed_clusters))
+                    obs.observe("fit.changed_clusters", len(changed_clusters))
+                    for state, cluster_members in zip(states, members):
+                        state.members = cluster_members
+                    # Re-determine selected dimensions with the actual members and
+                    # compute the objective with the actual medians (step 4).
+                    with obs.span("fit.select_dim", category="fit"):
+                        for cluster_index, state in enumerate(states):
+                            forced = knowledge.dimensions.for_class(cluster_index)
+                            forced = forced if forced.size else None
+                            state.dimensions = select_dimensions(
+                                objective, state.members, forced_dimensions=forced
+                            )
+                    with obs.span("fit.phi", category="fit"):
+                        phi_scores, overall = compute_phi_scores(objective, states)
 
-            if stale_iterations >= self.patience or iteration >= self.max_iterations:
-                break
+                    if best is None or overall > best.objective + 1e-12:
+                        # A single deep copy of the state arrays suffices — the
+                        # snapshot constructor already receives fresh copies.
+                        best = _IterationSnapshot(
+                            states=[state.copy() for state in states],
+                            labels=labels.copy(),
+                            phi_scores=list(phi_scores),
+                            objective=float(overall),
+                        )
+                        stale_iterations = 0
+                    else:
+                        stale_iterations += 1
+                        # Restore the best clustering before modifying it (step 5).
+                        states = [state.copy() for state in best.states]
+                        phi_scores = list(best.phi_scores)
+                    it_span.set(objective=float(overall), stale=stale_iterations)
 
-            bad_cluster = find_bad_cluster(objective, states, phi_scores)
-            new_medoid, new_dims = self._draw_replacement_medoid(
-                bad_cluster, group_of_cluster, public_pool, states, rng
-            )
-            states = replace_representatives(objective, states, bad_cluster, new_medoid, new_dims)
-            # The bad cluster drew a brand-new medoid and every changed
-            # cluster's representative was replaced by its new median —
-            # report both to the assignment engine so the next gains
-            # call recomputes exactly those columns.
-            changed_clusters.add(bad_cluster)
-            objective.mark_assignment_dirty(changed_clusters)
+                    if stale_iterations >= self.patience or iteration >= self.max_iterations:
+                        break
 
-        assert best is not None  # the loop always runs at least one iteration
-        self._store_result(data, objective, best, iteration)
+                    with obs.span("fit.medoid_swap", category="fit"):
+                        bad_cluster = find_bad_cluster(objective, states, phi_scores)
+                        new_medoid, new_dims = self._draw_replacement_medoid(
+                            bad_cluster, group_of_cluster, public_pool, states, rng
+                        )
+                        states = replace_representatives(
+                            objective, states, bad_cluster, new_medoid, new_dims
+                        )
+                    # The bad cluster drew a brand-new medoid and every changed
+                    # cluster's representative was replaced by its new median —
+                    # report both to the assignment engine so the next gains
+                    # call recomputes exactly those columns.
+                    changed_clusters.add(bad_cluster)
+                    objective.mark_assignment_dirty(changed_clusters)
+
+            assert best is not None  # the loop always runs at least one iteration
+            self._store_result(data, objective, best, iteration)
+            fit_span.set(iterations=iteration, objective=float(best.objective))
+        self._snapshot_workspace_counters(workspace)
         return self
+
+    def _snapshot_workspace_counters(self, workspace: ClusterStatsCache) -> None:
+        """Record the fit's cache counters (per-fit, see ``reset_counters``)."""
+        counters = dict(workspace.counters())
+        self.stats_cache_counters_ = counters
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            for name in ("hits", "misses", "evictions"):
+                recorder.incr("stats_cache.%s" % name, float(counters.get(name, 0)))
+            recorder.gauge("stats_cache.entries", float(counters.get("entries", 0)))
+            recorder.gauge("stats_cache.hit_rate", float(counters.get("hit_rate", 0.0)))
 
     def fit_predict(
         self,

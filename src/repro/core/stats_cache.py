@@ -283,6 +283,18 @@ class ClusterStatsCache:
             "hit_rate": float(self.hit_rate),
         }
 
+    def reset_counters(self) -> None:
+        """Zero the lookup counters while keeping every cached entry.
+
+        :meth:`SSPC.fit` calls this at the start of every run so
+        :meth:`counters` / :attr:`hit_rate` describe exactly one fit —
+        even when a ``_stats_cache_factory`` override shares one cache
+        across estimators (warm entries stay warm; the tally restarts).
+        """
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def clear(self) -> None:
         """Drop every stored entry and reset the counters."""
         self._store.clear()

@@ -1,0 +1,57 @@
+"""``repro.obs`` — spans, metrics and event logs for the whole stack.
+
+Off by default: every hook is a no-op until :func:`configure` (or the
+``--trace`` / ``--metrics-out`` CLI flags) installs a recorder.  See
+:mod:`repro.obs.core` for the recording model and
+:mod:`repro.obs.export` for the Chrome-trace / metrics artifacts.
+"""
+
+from repro.obs.core import (
+    Recorder,
+    begin_child_recording,
+    configure,
+    disable,
+    enabled,
+    event,
+    gauge,
+    get_recorder,
+    incr,
+    monotonic,
+    observe,
+    recording,
+    span,
+    suspended,
+    wall_time,
+)
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    metrics_snapshot,
+    trace_session,
+    write_chrome_trace,
+    write_metrics,
+)
+
+__all__ = [
+    "Recorder",
+    "begin_child_recording",
+    "chrome_trace",
+    "configure",
+    "disable",
+    "enabled",
+    "event",
+    "gauge",
+    "get_recorder",
+    "incr",
+    "load_chrome_trace",
+    "metrics_snapshot",
+    "monotonic",
+    "observe",
+    "recording",
+    "span",
+    "suspended",
+    "trace_session",
+    "wall_time",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,162 @@
+"""``repro-obs`` — human-readable reports over recorded observability runs.
+
+Subcommands
+-----------
+``report``
+    Summarise a metrics snapshot (``--metrics``) and/or a Chrome trace
+    (``--trace``): counters, histogram quantiles, event log, and span
+    time by category/name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import load_chrome_trace, summarize_histogram
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return "%.3f s" % value
+    return "%.3f ms" % (value * 1e3)
+
+
+def _report_metrics(path: str, lines: List[str]) -> None:
+    from repro.reliability.atomic import read_json
+
+    snapshot = read_json(path)
+    lines.append("metrics snapshot: %s (trace %s)" % (path, snapshot.get("trace_id")))
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("\ncounters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = ("%d" % value) if float(value).is_integer() else ("%.4f" % value)
+            lines.append("  %-*s %s" % (width, name, rendered))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        lines.append("\ngauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append("  %-*s %.6g" % (width, name, gauges[name]))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines.append("\nhistograms:")
+        lines.append("  %-32s %8s %10s %10s %10s %10s" % ("name", "count", "mean", "p50", "p90", "p99"))
+        for name in sorted(histograms):
+            summary = histograms[name]
+            if not summary.get("count"):
+                continue
+            lines.append(
+                "  %-32s %8d %10.4g %10.4g %10.4g %10.4g"
+                % (
+                    name,
+                    summary["count"],
+                    summary.get("mean", 0.0),
+                    summary.get("p50", 0.0),
+                    summary.get("p90", 0.0),
+                    summary.get("p99", 0.0),
+                )
+            )
+    event_kinds = snapshot.get("event_kinds") or {}
+    if event_kinds:
+        lines.append("\nevents:")
+        for kind in sorted(event_kinds):
+            lines.append("  %-32s %d" % (kind, event_kinds[kind]))
+    spans = snapshot.get("spans") or {}
+    by_category = spans.get("by_category") or {}
+    if by_category:
+        lines.append("\nspan time by category (%d spans):" % spans.get("count", 0))
+        for cat in sorted(by_category):
+            bucket = by_category[cat]
+            lines.append(
+                "  %-16s %6d spans  %s"
+                % (cat, bucket.get("count", 0), _format_seconds(bucket.get("total_s", 0.0)))
+            )
+
+
+def _report_trace(path: str, lines: List[str]) -> None:
+    payload = load_chrome_trace(path)
+    events = payload.get("traceEvents") or []
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    instants = [ev for ev in events if ev.get("ph") == "i"]
+    other = payload.get("otherData") or {}
+    lines.append(
+        "trace: %s (trace %s) — %d spans, %d events"
+        % (path, other.get("trace_id"), len(spans), len(instants))
+    )
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        key = "%s/%s" % (span.get("cat", "repro"), span.get("name", "?"))
+        bucket = by_name.setdefault(key, {"durs": []})
+        bucket["durs"].append(float(span.get("dur", 0.0)) / 1e6)
+    if by_name:
+        lines.append("\nspan durations by name:")
+        lines.append("  %-44s %7s %12s %12s %12s" % ("cat/name", "count", "total", "mean", "p99"))
+        ranked = sorted(by_name.items(), key=lambda item: -sum(item[1]["durs"]))
+        for key, bucket in ranked:
+            summary = summarize_histogram(bucket["durs"])
+            lines.append(
+                "  %-44s %7d %12s %12s %12s"
+                % (
+                    key,
+                    summary["count"],
+                    _format_seconds(summary["sum"]),
+                    _format_seconds(summary["mean"]),
+                    _format_seconds(summary["p99"]),
+                )
+            )
+    if instants:
+        lines.append("\ninstant events:")
+        kinds: Dict[str, int] = {}
+        for ev in instants:
+            kinds[str(ev.get("name", "event"))] = kinds.get(str(ev.get("name", "event")), 0) + 1
+        for kind in sorted(kinds):
+            lines.append("  %-32s %d" % (kind, kinds[kind]))
+    lines.append("\nopen in Perfetto: https://ui.perfetto.dev → 'Open trace file' → %s" % path)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    lines: List[str] = []
+    if args.metrics:
+        _report_metrics(args.metrics, lines)
+    if args.trace:
+        if lines:
+            lines.append("")
+        _report_trace(args.trace, lines)
+    print("\n".join(lines))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect traces and metrics recorded by --trace/--metrics-out.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report = subparsers.add_parser("report", help="summarise a recorded run")
+    report.add_argument("--metrics", default=None,
+                        help="metrics snapshot JSON written by --metrics-out")
+    report.add_argument("--trace", default=None,
+                        help="Chrome trace JSON written by --trace")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "report" and not (args.metrics or args.trace):
+        parser.error("report needs --metrics and/or --trace")
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,435 @@
+"""Near-zero-overhead instrumentation core: spans, metrics, events.
+
+The module keeps one optional global :class:`Recorder`.  While it is
+``None`` (the default) every hook — :func:`span`, :func:`incr`,
+:func:`gauge`, :func:`observe`, :func:`event` — is a single attribute
+load plus an ``is None`` test, so instrumented library code costs
+effectively nothing when observability is off.  ``repro-bench run
+--trace`` (and friends) call :func:`configure` to install a recorder
+for the duration of the run.
+
+Design points:
+
+* **Hierarchical spans** — ``with obs.span("fit.assign", category="fit")``
+  context managers maintain a *thread-local* span stack, so nested spans
+  are parented correctly even with worker threads recording into the
+  same recorder.
+* **Injectable monotonic clock** — ``Recorder(clock=...)`` accepts any
+  zero-argument float callable; tests fake time and recorded traces
+  stay deterministic.  All span timestamps are seconds relative to the
+  recorder's epoch (clock value at construction).
+* **Structured events** — drift detected, cluster spawned/retired,
+  fault injected, retry, rollback, quarantine ... are recorded as typed
+  event dicts keyed by the recorder's trace id.
+* **Cross-process merge** — a child process started by
+  ``ProcessExecutor`` records into its own fresh recorder
+  (:func:`begin_child_recording`), exports the state as a plain dict
+  (:meth:`Recorder.export_state`) through the executor's result pipe,
+  and the parent grafts it under the per-task span with
+  :meth:`Recorder.ingest`, remapping span ids and re-basing timestamps.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+any layer (core, stream, serving, bench, reliability) can instrument
+itself without import cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Recorder",
+    "begin_child_recording",
+    "configure",
+    "disable",
+    "enabled",
+    "event",
+    "gauge",
+    "get_recorder",
+    "incr",
+    "monotonic",
+    "observe",
+    "recording",
+    "span",
+    "suspended",
+    "wall_time",
+]
+
+Clock = Callable[[], float]
+
+
+def wall_time() -> float:
+    """The wall clock (seconds since the epoch).
+
+    Library code must route wall-clock reads through here instead of
+    calling ``time.time()`` directly (``tools/check_obs.py`` enforces
+    this), so run manifests and snapshots share one, mockable source.
+    """
+    return time.time()
+
+
+def monotonic() -> float:
+    """The default monotonic clock used by :class:`Recorder`."""
+    return time.perf_counter()
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by :func:`span` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """An open span; records itself on ``__exit__``."""
+
+    __slots__ = ("_recorder", "name", "category", "args", "span_id", "parent_id", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, category: str, args: Dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **args: Any) -> "_SpanHandle":
+        """Attach extra key/value annotations to the span."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        recorder = self._recorder
+        stack = recorder._span_stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = recorder._next_id()
+        stack.append(self.span_id)
+        self._start = recorder._now()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        recorder = self._recorder
+        end = recorder._now()
+        stack = recorder._span_stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:  # tolerate mis-nested exits
+            stack.remove(self.span_id)
+        if exc_type is not None:
+            self.args.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        recorder._record_span(
+            {
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "name": self.name,
+                "cat": self.category,
+                "ts": self._start,
+                "dur": max(0.0, end - self._start),
+                "pid": recorder.pid,
+                "tid": recorder._tid(),
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class Recorder:
+    """Collects spans, counters, gauges, histograms and events for one run."""
+
+    def __init__(self, clock: Optional[Clock] = None, trace_id: Optional[str] = None):
+        self._clock = clock if clock is not None else monotonic
+        self._epoch = self._clock()
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
+        self.pid = os.getpid()
+        self.spans: List[Dict[str, Any]] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.n_hook_calls = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._tids: Dict[int, int] = {}
+
+    # -- internals -----------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _span_stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _tid(self) -> int:
+        """Small, stable per-thread id (0 for the first thread seen)."""
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _record_span(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    # -- recording API -------------------------------------------------
+
+    def span(self, name: str, category: str = "repro", **args: Any) -> _SpanHandle:
+        """Open a hierarchical span; use as a context manager."""
+        self.n_hook_calls += 1
+        return _SpanHandle(self, name, category, args)
+
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        *,
+        parent_id: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+    ) -> int:
+        """Record a span directly from explicit timestamps.
+
+        Used where a context manager does not fit — e.g. the executor's
+        per-task spans, which open at launch and close at settle inside
+        an event loop rather than a lexical block.  ``start`` is seconds
+        relative to the recorder epoch (:meth:`now`).
+        """
+        self.n_hook_calls += 1
+        span_id = self._next_id()
+        self._record_span(
+            {
+                "id": span_id,
+                "parent": parent_id,
+                "name": name,
+                "cat": category,
+                "ts": start,
+                "dur": max(0.0, duration),
+                "pid": self.pid if pid is None else pid,
+                "tid": self._tid() if tid is None else tid,
+                "args": dict(args or {}),
+            }
+        )
+        return span_id
+
+    def now(self) -> float:
+        """Current time in recorder coordinates (seconds since epoch)."""
+        return self._now()
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        self.n_hook_calls += 1
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.n_hook_calls += 1
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.n_hook_calls += 1
+        with self._lock:
+            self.histograms.setdefault(name, []).append(float(value))
+
+    def event(self, kind: str, /, **details: Any) -> None:
+        self.n_hook_calls += 1
+        record = {
+            "kind": kind,
+            "ts": self._now(),
+            "pid": self.pid,
+            "details": details,
+        }
+        with self._lock:
+            self.events.append(record)
+
+    # -- cross-process merge -------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """A picklable snapshot suitable for :meth:`ingest` in a parent."""
+        with self._lock:
+            return {
+                "trace_id": self.trace_id,
+                "pid": self.pid,
+                "spans": [dict(span) for span in self.spans],
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {key: list(vals) for key, vals in self.histograms.items()},
+                "events": [dict(ev) for ev in self.events],
+                "n_hook_calls": self.n_hook_calls,
+            }
+
+    def ingest(
+        self,
+        state: Dict[str, Any],
+        *,
+        at: float = 0.0,
+        parent_span_id: Optional[int] = None,
+    ) -> None:
+        """Merge a child recorder's exported ``state`` into this one.
+
+        ``at`` re-bases the child's relative timestamps: a child span at
+        child-time ``t`` lands at ``at + t`` in this recorder's
+        coordinates (callers pass the parent-side launch time of the
+        task).  Child span ids are remapped to fresh parent ids so they
+        cannot collide; top-level child spans are parented under
+        ``parent_span_id`` (usually the executor's per-task span).
+        Counters merge additively, histograms concatenate, gauges adopt
+        the child's value, events append with re-based timestamps.
+        """
+        id_map: Dict[int, int] = {}
+        remapped: List[Dict[str, Any]] = []
+        for span_record in state.get("spans", ()):
+            new_id = self._next_id()
+            id_map[int(span_record["id"])] = new_id
+        for span_record in state.get("spans", ()):
+            parent = span_record.get("parent")
+            merged = dict(span_record)
+            merged["id"] = id_map[int(span_record["id"])]
+            merged["parent"] = (
+                id_map.get(int(parent)) if parent is not None else parent_span_id
+            )
+            merged["ts"] = float(span_record["ts"]) + at
+            remapped.append(merged)
+        with self._lock:
+            self.spans.extend(remapped)
+            for name, value in state.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + float(value)
+            for name, value in state.get("gauges", {}).items():
+                self.gauges[name] = float(value)
+            for name, values in state.get("histograms", {}).items():
+                self.histograms.setdefault(name, []).extend(float(v) for v in values)
+            for ev in state.get("events", ()):
+                merged_ev = dict(ev)
+                merged_ev["ts"] = float(ev.get("ts", 0.0)) + at
+                self.events.append(merged_ev)
+            self.n_hook_calls += int(state.get("n_hook_calls", 0))
+
+
+# -- module-level hooks ------------------------------------------------
+#
+# Instrumented library code calls these.  While `_recorder` is None the
+# cost is one global load and one comparison per call site.
+
+_recorder: Optional[Recorder] = None
+
+
+def configure(clock: Optional[Clock] = None, trace_id: Optional[str] = None) -> Recorder:
+    """Install (and return) a fresh global recorder — turns obs on."""
+    global _recorder
+    _recorder = Recorder(clock=clock, trace_id=trace_id)
+    return _recorder
+
+
+def disable() -> Optional[Recorder]:
+    """Turn obs off; returns the recorder that was active, if any."""
+    global _recorder
+    recorder = _recorder
+    _recorder = None
+    return recorder
+
+
+def get_recorder() -> Optional[Recorder]:
+    """The active recorder, or ``None`` when observability is off."""
+    return _recorder
+
+
+def enabled() -> bool:
+    return _recorder is not None
+
+
+@contextmanager
+def recording(
+    clock: Optional[Clock] = None, trace_id: Optional[str] = None
+) -> Iterator[Recorder]:
+    """Enable a fresh recorder for the block, restoring the previous state."""
+    global _recorder
+    previous = _recorder
+    recorder = configure(clock=clock, trace_id=trace_id)
+    try:
+        yield recorder
+    finally:
+        _recorder = previous
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Force-disable recording for the block (used by the overhead bench)."""
+    global _recorder
+    previous = _recorder
+    _recorder = None
+    try:
+        yield
+    finally:
+        _recorder = previous
+
+
+def begin_child_recording(trace_id: Optional[str] = None) -> Recorder:
+    """Start a fresh recorder in a worker process.
+
+    After ``fork`` the child inherits the parent's recorder object —
+    including every span the parent already collected — so exporting it
+    verbatim would duplicate the parent's data.  Workers call this to
+    replace the inherited state with an empty recorder whose epoch is
+    the child's start; the parent re-bases on ingest.
+    """
+    return configure(trace_id=trace_id)
+
+
+def span(name: str, category: str = "repro", **args: Any) -> Any:
+    recorder = _recorder
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name, category, **args)
+
+
+def incr(name: str, value: float = 1.0) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.incr(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.observe(name, value)
+
+
+def event(kind: str, /, **details: Any) -> None:
+    recorder = _recorder
+    if recorder is not None:
+        recorder.event(kind, **details)

@@ -1,0 +1,212 @@
+"""Exporters: Chrome trace-event JSON and crash-safe metrics snapshots.
+
+``chrome_trace`` renders a recorder (or an exported state dict) into the
+Chrome trace-event format — an object with a ``traceEvents`` list of
+complete (``"ph": "X"``) and instant (``"ph": "i"``) events — which
+loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  ``metrics_snapshot`` summarises counters, gauges,
+histograms and events into a single JSON document.
+
+Both artifacts are written through :mod:`repro.reliability.atomic`
+(temp + fsync + rename), so a crash mid-export can never leave a
+half-written trace; the metrics snapshot additionally carries the
+reliability layer's content checksum stamp.  The imports are lazy to
+keep ``repro.obs`` dependency-free for the instrumented layers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs import core
+
+__all__ = [
+    "chrome_trace",
+    "load_chrome_trace",
+    "metrics_snapshot",
+    "summarize_histogram",
+    "trace_session",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+_MICRO = 1e6
+
+
+def _as_state(source: Union[core.Recorder, Dict[str, Any]]) -> Dict[str, Any]:
+    if isinstance(source, core.Recorder):
+        return source.export_state()
+    return source
+
+
+def chrome_trace(source: Union[core.Recorder, Dict[str, Any]]) -> Dict[str, Any]:
+    """Render a recorder (or exported state) as Chrome trace-event JSON."""
+    state = _as_state(source)
+    root_pid = int(state.get("pid", 0))
+    events: List[Dict[str, Any]] = []
+    pids = {root_pid}
+    for span in state.get("spans", ()):
+        pids.add(int(span.get("pid", root_pid)))
+    for ev in state.get("events", ()):
+        pids.add(int(ev.get("pid", root_pid)))
+    for pid in sorted(pids):
+        name = "repro" if pid == root_pid else "repro worker %d" % pid
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for span in state.get("spans", ()):
+        args = dict(span.get("args") or {})
+        args["span_id"] = span.get("id")
+        if span.get("parent") is not None:
+            args["parent_id"] = span.get("parent")
+        events.append(
+            {
+                "ph": "X",
+                "name": str(span["name"]),
+                "cat": str(span.get("cat", "repro")),
+                "ts": round(float(span["ts"]) * _MICRO, 3),
+                "dur": round(float(span.get("dur", 0.0)) * _MICRO, 3),
+                "pid": int(span.get("pid", root_pid)),
+                "tid": int(span.get("tid", 0)),
+                "args": args,
+            }
+        )
+    for ev in state.get("events", ()):
+        events.append(
+            {
+                "ph": "i",
+                "name": str(ev.get("kind", "event")),
+                "cat": "event",
+                "s": "g",
+                "ts": round(float(ev.get("ts", 0.0)) * _MICRO, 3),
+                "pid": int(ev.get("pid", root_pid)),
+                "tid": 0,
+                "args": dict(ev.get("details") or {}),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": state.get("trace_id"), "producer": "repro.obs"},
+    }
+
+
+def summarize_histogram(values: List[float]) -> Dict[str, float]:
+    """count/min/max/mean/sum plus nearest-rank p50/p90/p99."""
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    if count == 0:
+        return {"count": 0}
+    summary = {
+        "count": count,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "sum": sum(ordered),
+        "mean": sum(ordered) / count,
+    }
+    for label, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        rank = max(0, min(count - 1, math.ceil(q * count) - 1))
+        summary[label] = ordered[rank]
+    return summary
+
+
+def metrics_snapshot(source: Union[core.Recorder, Dict[str, Any]]) -> Dict[str, Any]:
+    """Summarise a recorder into one JSON-serialisable metrics document."""
+    state = _as_state(source)
+    by_category: Dict[str, Dict[str, float]] = {}
+    for span in state.get("spans", ()):
+        cat = str(span.get("cat", "repro"))
+        bucket = by_category.setdefault(cat, {"count": 0, "total_s": 0.0})
+        bucket["count"] += 1
+        bucket["total_s"] += float(span.get("dur", 0.0))
+    event_kinds: Dict[str, int] = {}
+    for ev in state.get("events", ()):
+        kind = str(ev.get("kind", "event"))
+        event_kinds[kind] = event_kinds.get(kind, 0) + 1
+    return {
+        "schema_version": 1,
+        "trace_id": state.get("trace_id"),
+        "generated_at": core.wall_time(),
+        "counters": dict(state.get("counters", {})),
+        "gauges": dict(state.get("gauges", {})),
+        "histograms": {
+            name: summarize_histogram(values)
+            for name, values in state.get("histograms", {}).items()
+        },
+        "events": [dict(ev) for ev in state.get("events", ())],
+        "event_kinds": event_kinds,
+        "spans": {
+            "count": len(state.get("spans", ())),
+            "by_category": by_category,
+        },
+        "n_hook_calls": int(state.get("n_hook_calls", 0)),
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path], source: Union[core.Recorder, Dict[str, Any]]
+) -> Path:
+    """Atomically write the Chrome trace JSON for ``source`` to ``path``."""
+    from repro.reliability.atomic import atomic_write_text
+
+    payload = chrome_trace(source)
+    return atomic_write_text(Path(path), json.dumps(payload) + "\n")
+
+
+def write_metrics(
+    path: Union[str, Path], source: Union[core.Recorder, Dict[str, Any]]
+) -> Path:
+    """Atomically write a checksummed metrics snapshot for ``source``."""
+    from repro.reliability.atomic import atomic_write_json
+
+    payload = metrics_snapshot(source)
+    return atomic_write_json(Path(path), payload, stamp=True)
+
+
+def load_chrome_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a trace written by :func:`write_chrome_trace`."""
+    with open(Path(path), "r") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("%s is not a Chrome trace-event JSON file" % path)
+    return payload
+
+
+@contextmanager
+def trace_session(
+    trace: Optional[Union[str, Path]] = None,
+    metrics: Optional[Union[str, Path]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Iterator[Optional[core.Recorder]]:
+    """CLI plumbing: record for the block iff an output path was requested.
+
+    With both paths ``None`` this is a no-op that yields ``None`` —
+    observability stays off by default.  Otherwise a fresh recorder is
+    installed for the block and the requested artifacts are written
+    (crash-safely) on the way out, even if the block raises.
+    """
+    if trace is None and metrics is None:
+        yield None
+        return
+    with core.recording() as recorder:
+        try:
+            yield recorder
+        finally:
+            if trace is not None:
+                written = write_chrome_trace(trace, recorder)
+                if log is not None:
+                    log("trace written to %s (load in https://ui.perfetto.dev)" % written)
+            if metrics is not None:
+                written = write_metrics(metrics, recorder)
+                if log is not None:
+                    log("metrics snapshot written to %s" % written)

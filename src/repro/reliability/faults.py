@@ -43,6 +43,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
+
 PathLike = Union[str, Path]
 
 #: Write-path fault kinds, in the order :meth:`FaultPlan.seeded` cycles them.
@@ -194,6 +196,7 @@ class FaultPlan:
             latch.touch(exist_ok=False)
         except FileExistsError:
             return False
+        _record_fault("task", spec.kind, latch, index=int(index))
         if spec.kind == "sigkill":
             os.kill(os.getpid(), signal.SIGKILL)
         elif spec.kind == "stall":
@@ -201,6 +204,14 @@ class FaultPlan:
         else:
             raise ValueError("unknown task fault kind %r" % spec.kind)
         return True
+
+
+def _record_fault(op: str, kind: str, path: PathLike, **extra: object) -> None:
+    """Mirror a fired fault into the observability event log."""
+    recorder = obs.get_recorder()
+    if recorder is not None:
+        recorder.incr("reliability.faults_injected")
+        recorder.event("fault_injected", op=op, kind=kind, path=str(path), **extra)
 
 
 _ACTIVE: Optional[FaultPlan] = None
@@ -233,6 +244,7 @@ def guarded_write(handle, data: bytes, path: PathLike) -> None:
     if spec is None:
         handle.write(data)
         return
+    _record_fault("write", spec.kind, path)
     if spec.kind in ("torn", "enospc"):
         handle.write(data[: max(0, min(spec.after_bytes, len(data)))])
         handle.flush()
@@ -253,6 +265,7 @@ def before_fsync(path: PathLike) -> None:
     spec = plan._observe("fsync", str(path)) if plan is not None else None
     if spec is None:
         return
+    _record_fault("fsync", spec.kind, path)
     raise InjectedCrash("injected crash before fsync of %s" % path)
 
 
@@ -262,6 +275,7 @@ def before_rename(path: PathLike) -> None:
     spec = plan._observe("rename", str(path)) if plan is not None else None
     if spec is None:
         return
+    _record_fault("rename", spec.kind, path)
     if spec.kind == "rename_blocked":
         raise OSError(errno.EACCES, "injected blocked rename onto %s" % path)
     raise InjectedCrash("injected crash before rename onto %s" % path)

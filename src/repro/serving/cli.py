@@ -31,11 +31,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import OUTLIER_LABEL
 from repro.serving.artifact import load_artifact
 from repro.serving.index import ProjectedClusterIndex
 
 __all__ = ["main", "build_parser"]
+
+
+def _log_stderr(message: str) -> None:
+    print(message, file=sys.stderr)
 
 
 # ---------------------------------------------------------------------- #
@@ -142,7 +147,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         random_state=args.random_state,
         **threshold_kwargs,
     )
-    model.fit(data)
+    with obs.trace_session(args.trace, args.metrics_out, log=_log_stderr):
+        model.fit(data)
     directory = model.save(args.artifact, metadata={"source": args.input or "synthetic"})
     print(model.result_.summary())
     print("artifact written to %s" % directory)
@@ -157,20 +163,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     index = ProjectedClusterIndex(artifact, center=args.center)
     points, _ = _load_matrix(args.input)
 
-    top_clusters = top_gains = None
-    if args.top_m is not None:
-        labels, top_clusters, top_gains = index.top_assignments(points, args.top_m)
-    else:
-        labels = index.predict(points)
+    with obs.trace_session(args.trace, args.metrics_out, log=_log_stderr):
+        top_clusters = top_gains = None
+        if args.top_m is not None:
+            labels, top_clusters, top_gains = index.top_assignments(points, args.top_m)
+        else:
+            labels = index.predict(points)
 
-    if args.update:
-        index.partial_update(points, labels)
-        if args.save_back:
-            index.fold_into(artifact)
-            artifact.metadata["partial_updates"] = (
-                int(artifact.metadata.get("partial_updates", 0)) + 1
-            )
-            artifact.save(args.artifact)
+        if args.update:
+            index.partial_update(points, labels)
+            if args.save_back:
+                index.fold_into(artifact)
+                artifact.metadata["partial_updates"] = (
+                    int(artifact.metadata.get("partial_updates", 0)) + 1
+                )
+                artifact.save(args.artifact)
 
     _write_assignments(args.output, labels, top_clusters, top_gains)
     assigned = int(np.count_nonzero(labels != OUTLIER_LABEL))
@@ -211,6 +218,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the command (Perfetto)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a checksummed metrics snapshot of the command")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -230,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chi-square threshold parameter (overrides --m)")
     fit.add_argument("--max-iterations", type=int, default=30)
     fit.add_argument("--random-state", type=int, default=0)
+    _add_obs_arguments(fit)
     fit.set_defaults(func=_cmd_fit)
 
     predict = commands.add_parser("predict", help="assign new points with a saved artifact")
@@ -245,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fold accepted points into the serving statistics")
     predict.add_argument("--save-back", action="store_true",
                          help="with --update: persist the updated statistics")
+    _add_obs_arguments(predict)
     predict.set_defaults(func=_cmd_predict)
 
     inspect = commands.add_parser("inspect", help="describe a saved artifact")

@@ -59,6 +59,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.assignment_engine import AssignmentEngine
 from repro.core.model import OUTLIER_LABEL
 from repro.core.stats_cache import merge_mean_variance
@@ -349,8 +350,16 @@ class ProjectedClusterIndex:
         Deterministic: a pure function of the artifact state and the
         input batch.
         """
-        gains = self.gains_matrix(points)
-        return self._labels_from_gains(gains)
+        with obs.span("serve.predict", category="serve") as pred_span:
+            gains = self.gains_matrix(points)
+            labels = self._labels_from_gains(gains)
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                n_outliers = int(np.count_nonzero(labels == OUTLIER_LABEL))
+                recorder.incr("serve.points_scored", float(labels.shape[0]))
+                recorder.incr("serve.outliers", float(n_outliers))
+                pred_span.set(rows=int(labels.shape[0]), outliers=n_outliers)
+            return labels
 
     def predict_one(self, point: np.ndarray) -> int:
         """Hard label for a single point via the scalar reference path."""
@@ -438,48 +447,51 @@ class ProjectedClusterIndex:
                     % OUTLIER_LABEL
                 )
 
-        absorbed = 0
-        for index, cluster in enumerate(self._clusters):
-            rows = points[labels == index]
-            if rows.shape[0] == 0:
-                continue
-            batch_mean = rows.mean(axis=0)
-            if rows.shape[0] > 1:
-                batch_variance = rows.var(axis=0, ddof=1)
-            else:
-                batch_variance = np.zeros(self.n_dimensions)
-            cluster.size, cluster.mean, cluster.variance = merge_mean_variance(
-                cluster.size,
-                cluster.mean,
-                cluster.variance,
-                rows.shape[0],
-                batch_mean,
-                batch_variance,
-            )
-            if cluster.projections is not None:
-                cluster.projections = np.concatenate(
-                    [cluster.projections, rows[:, cluster.dimensions]], axis=0
+        with obs.span("serve.partial_update", category="serve") as fold_span:
+            absorbed = 0
+            for index, cluster in enumerate(self._clusters):
+                rows = points[labels == index]
+                if rows.shape[0] == 0:
+                    continue
+                batch_mean = rows.mean(axis=0)
+                if rows.shape[0] > 1:
+                    batch_variance = rows.var(axis=0, ddof=1)
+                else:
+                    batch_variance = np.zeros(self.n_dimensions)
+                cluster.size, cluster.mean, cluster.variance = merge_mean_variance(
+                    cluster.size,
+                    cluster.mean,
+                    cluster.variance,
+                    rows.shape[0],
+                    batch_mean,
+                    batch_variance,
                 )
-                # Bound the buffer *before* the median so windowed mode
-                # pays a single median pass per fold.
-                if (
-                    self.projection_window is not None
-                    and cluster.projections.shape[0] > self.projection_window
-                ):
-                    cluster.projections = cluster.projections[-self.projection_window:].copy()
-                cluster.median_selected = np.median(cluster.projections, axis=0)
-                if self.center == "median":
-                    cluster.center_selected = cluster.median_selected.copy()
-            if self.center == "mean":
-                cluster.center_selected = cluster.mean[cluster.dimensions].copy()
-            # The fold moved this cluster's size (size-dependent
-            # thresholds) and possibly its center — patch its plan entry
-            # so the next batch scores against the new state.  Clusters
-            # that absorbed nothing keep their plan rows untouched.
-            self._sync_plan(index)
-            absorbed += rows.shape[0]
-        self.n_updates += 1
-        self.n_points_absorbed += absorbed
+                if cluster.projections is not None:
+                    cluster.projections = np.concatenate(
+                        [cluster.projections, rows[:, cluster.dimensions]], axis=0
+                    )
+                    # Bound the buffer *before* the median so windowed mode
+                    # pays a single median pass per fold.
+                    if (
+                        self.projection_window is not None
+                        and cluster.projections.shape[0] > self.projection_window
+                    ):
+                        cluster.projections = cluster.projections[-self.projection_window:].copy()
+                    cluster.median_selected = np.median(cluster.projections, axis=0)
+                    if self.center == "median":
+                        cluster.center_selected = cluster.median_selected.copy()
+                if self.center == "mean":
+                    cluster.center_selected = cluster.mean[cluster.dimensions].copy()
+                # The fold moved this cluster's size (size-dependent
+                # thresholds) and possibly its center — patch its plan entry
+                # so the next batch scores against the new state.  Clusters
+                # that absorbed nothing keep their plan rows untouched.
+                self._sync_plan(index)
+                absorbed += rows.shape[0]
+            self.n_updates += 1
+            self.n_points_absorbed += absorbed
+            fold_span.set(rows=int(points.shape[0]), absorbed=int(absorbed))
+        obs.incr("serve.points_absorbed", float(absorbed))
         return labels
 
     def fold_into(self, artifact: ModelArtifact) -> ModelArtifact:

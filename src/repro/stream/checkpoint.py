@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.reliability import (
     IntegrityError,
     TEMP_MARKER,
@@ -177,6 +178,18 @@ def resolve_checkpoint_dir(path: PathLike) -> Path:
     for candidate in candidates:
         try:
             _read_state(candidate)
+            if problems:
+                # A damaged newer generation was skipped: this resolve
+                # is a rollback, worth surfacing in the event log.
+                recorder = obs.get_recorder()
+                if recorder is not None:
+                    recorder.incr("reliability.rollbacks")
+                    recorder.event(
+                        "rollback",
+                        checkpoint=str(directory),
+                        resolved=candidate.name,
+                        damaged=list(problems),
+                    )
             return candidate
         except (IntegrityError, FileNotFoundError, OSError) as exc:
             problems.append("%s: %s" % (candidate.name, exc))

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.data.streams import DriftingStreamGenerator, make_drift_schedule
 from repro.evaluation import adjusted_rand_index
 from repro.stream.checkpoint import checkpoint_metadata, describe_checkpoint, load_checkpoint
@@ -151,21 +152,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _stream_spec_from_args(args)
     generator = _generator_from_spec(spec)
     warmup = generator.warmup(args.warmup)
-    model = SSPC(
-        n_clusters=args.n_clusters,
-        m=args.m,
-        max_iterations=args.fit_iterations,
-        random_state=args.seed,
-    ).fit(warmup.data)
-    engine = StreamingSSPC(model.to_artifact(), config=_config_from_args(args))
-    print(
-        "fitted initial model on %d warmup points (k=%d); streaming %d batches of %d"
-        % (warmup.data.shape[0], engine.n_clusters, args.n_batches, args.batch_size),
-        file=sys.stderr,
-    )
-    records = _drive(
-        engine, generator, args.n_batches, args.batch_size, start=0, quiet=args.quiet
-    )
+    log_stderr = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    with obs.trace_session(args.trace, args.metrics_out, log=log_stderr):
+        model = SSPC(
+            n_clusters=args.n_clusters,
+            m=args.m,
+            max_iterations=args.fit_iterations,
+            random_state=args.seed,
+        ).fit(warmup.data)
+        engine = StreamingSSPC(model.to_artifact(), config=_config_from_args(args))
+        print(
+            "fitted initial model on %d warmup points (k=%d); streaming %d batches of %d"
+            % (warmup.data.shape[0], engine.n_clusters, args.n_batches, args.batch_size),
+            file=sys.stderr,
+        )
+        records = _drive(
+            engine, generator, args.n_batches, args.batch_size, start=0, quiet=args.quiet
+        )
     _print_summary(engine, records)
     if args.checkpoint:
         engine.checkpoint(args.checkpoint, metadata={"stream": spec})
@@ -284,6 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(run)
     run.add_argument("--checkpoint", default=None, help="checkpoint directory to write")
     run.add_argument("--report", default=None, help="per-batch JSON report path")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run (Perfetto)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write a checksummed metrics snapshot of the run")
     run.add_argument("--quiet", action="store_true", help="suppress per-event logging")
     run.set_defaults(func=_cmd_run)
 

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.dimension_selection import select_dimensions
 from repro.core.model import OUTLIER_LABEL
 from repro.core.objective import ObjectiveFunction
@@ -337,46 +338,67 @@ class StreamingSSPC:
         Returns the batch's stable-id label vector plus any adaptation
         events the batch triggered.
         """
-        positions = self.index.partial_update(points)
-        points = np.asarray(points, dtype=float)
-        batch_index = self.n_batches
-        self.n_batches += 1
-        self.n_points += int(points.shape[0])
+        with obs.span("stream.batch", category="stream", batch=self.n_batches) as batch_span:
+            positions = self.index.partial_update(points)
+            points = np.asarray(points, dtype=float)
+            batch_index = self.n_batches
+            self.n_batches += 1
+            self.n_points += int(points.shape[0])
 
-        # Stable-id labels reflect the assignment that was just applied,
-        # before any adaptation below can re-number positions.
-        ids = np.asarray(self.cluster_ids, dtype=int)
-        labels = np.full(points.shape[0], OUTLIER_LABEL, dtype=int)
-        assigned_mask = positions != OUTLIER_LABEL
-        labels[assigned_mask] = ids[positions[assigned_mask]]
+            # Stable-id labels reflect the assignment that was just applied,
+            # before any adaptation below can re-number positions.
+            ids = np.asarray(self.cluster_ids, dtype=int)
+            labels = np.full(points.shape[0], OUTLIER_LABEL, dtype=int)
+            assigned_mask = positions != OUTLIER_LABEL
+            labels[assigned_mask] = ids[positions[assigned_mask]]
 
-        for position in range(self.index.n_clusters):
-            rows = points[positions == position]
-            if rows.shape[0] == 0:
-                continue
-            self._accepted_since_sweep[position] += int(rows.shape[0])
-            window = np.concatenate([self._windows[position], rows], axis=0)
-            self._windows[position] = window[-self.config.drift_window:]
-        rejected = points[~assigned_mask]
-        if rejected.shape[0]:
-            self.outliers.extend(rejected)
-        self._update_global(points)
+            for position in range(self.index.n_clusters):
+                rows = points[positions == position]
+                if rows.shape[0] == 0:
+                    continue
+                self._accepted_since_sweep[position] += int(rows.shape[0])
+                window = np.concatenate([self._windows[position], rows], axis=0)
+                self._windows[position] = window[-self.config.drift_window:]
+            rejected = points[~assigned_mask]
+            if rejected.shape[0]:
+                self.outliers.extend(rejected)
+            self._update_global(points)
 
-        events: List[StreamEvent] = []
-        if self.config.drift_check_every and self.n_batches % self.config.drift_check_every == 0:
-            events.extend(self._drift_pass(batch_index))
-        if self.config.lifecycle_every and self.n_batches % self.config.lifecycle_every == 0:
-            events.extend(self._lifecycle_sweep(batch_index))
-        self.events.extend(events)
+            events: List[StreamEvent] = []
+            if self.config.drift_check_every and self.n_batches % self.config.drift_check_every == 0:
+                events.extend(self._drift_pass(batch_index))
+            if self.config.lifecycle_every and self.n_batches % self.config.lifecycle_every == 0:
+                events.extend(self._lifecycle_sweep(batch_index))
+            self.events.extend(events)
 
-        n_assigned = int(np.count_nonzero(assigned_mask))
-        return BatchResult(
-            batch_index=batch_index,
-            labels=labels,
-            n_assigned=n_assigned,
-            n_outliers=int(points.shape[0] - n_assigned),
-            events=events,
-        )
+            n_assigned = int(np.count_nonzero(assigned_mask))
+            n_outliers = int(points.shape[0] - n_assigned)
+            recorder = obs.get_recorder()
+            if recorder is not None:
+                n_batch = int(points.shape[0])
+                recorder.incr("stream.points", float(n_batch))
+                recorder.incr("stream.outliers", float(n_outliers))
+                recorder.observe("stream.batch_size", float(n_batch))
+                recorder.observe(
+                    "stream.outlier_rate", n_outliers / n_batch if n_batch else 0.0
+                )
+                recorder.gauge("stream.clusters", float(self.index.n_clusters))
+                # Mirror lifecycle/drift adaptation into the structured
+                # event log (kinds: drift, spawn, retire).
+                for stream_event in events:
+                    detail = dict(stream_event.details or {})
+                    detail["batch_index"] = int(stream_event.batch_index)
+                    detail["cluster_id"] = int(stream_event.cluster_id)
+                    recorder.event(stream_event.kind, **detail)
+                batch_span.set(n_assigned=n_assigned, n_outliers=n_outliers,
+                               events=len(events))
+            return BatchResult(
+                batch_index=batch_index,
+                labels=labels,
+                n_assigned=n_assigned,
+                n_outliers=n_outliers,
+                events=events,
+            )
 
     def _update_global(self, points: np.ndarray) -> None:
         """Fold a batch into the running stream-wide statistics."""

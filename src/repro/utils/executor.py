@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -73,17 +75,23 @@ class ExecutorTaskError(RuntimeError):
     """Raised by ``map`` when a task still fails after every retry."""
 
 
+def _run_traced(fn: Callable[[T], R], index: int, item: T, backend: str) -> R:
+    """Run one in-process task under its executor span (no-op when obs is off)."""
+    with obs.span("executor.task", category="executor", index=index, backend=backend):
+        return fn(item)
+
+
 class SerialExecutor:
     """In-process, in-order execution — the default everywhere."""
 
     workers = 1
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        return [fn(item) for item in items]
+        return [_run_traced(fn, index, item, "serial") for index, item in enumerate(items)]
 
     def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
         for index, item in enumerate(items):
-            yield index, fn(item)
+            yield index, _run_traced(fn, index, item, "serial")
 
 
 class ThreadExecutor:
@@ -99,14 +107,21 @@ class ThreadExecutor:
         if not items:
             return []
         with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+            futures = [
+                pool.submit(_run_traced, fn, index, item, "thread")
+                for index, item in enumerate(items)
+            ]
+            return [future.result() for future in futures]
 
     def imap_unordered(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[Tuple[int, R]]:
         items = list(items)
         if not items:
             return
         with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
-            futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+            futures = {
+                pool.submit(_run_traced, fn, index, item, "thread"): index
+                for index, item in enumerate(items)
+            }
             for future in _as_completed(futures):
                 yield futures[future], future.result()
 
@@ -124,18 +139,36 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("spawn")
 
 
-def _task_entry(fn, item, conn) -> None:
-    """Worker-process body: run one task, report through the pipe."""
+def _task_entry(fn, item, conn, record_obs: bool = False) -> None:
+    """Worker-process body: run one task, report through the pipe.
+
+    With ``record_obs`` the worker opens a fresh recorder (replacing any
+    recorder inherited across ``fork``), runs the task under a root
+    span, and appends the exported observability state as a fourth
+    payload element — the parent grafts it under its per-task span.
+    """
+    recorder = obs.begin_child_recording() if record_obs else None
     try:
-        payload = ("ok", fn(item), None)
+        if recorder is not None:
+            with recorder.span("task.run", "executor"):
+                result = fn(item)
+        else:
+            result = fn(item)
+        payload = ("ok", result, None)
     except BaseException as exc:  # report *everything*, the parent classifies
         payload = ("error", exc, traceback.format_exc())
+    if recorder is not None:
+        payload = payload + (recorder.export_state(),)
+        obs.disable()
     try:
         conn.send(payload)
     except Exception:
         # Unpicklable result or exception: report the traceback as text.
         try:
-            conn.send(("error", None, traceback.format_exc()))
+            fallback = ("error", None, traceback.format_exc())
+            if recorder is not None:
+                fallback = fallback + (recorder.export_state(),)
+            conn.send(fallback)
         except Exception:
             pass  # parent will see EOF and classify the task as crashed
     finally:
@@ -152,6 +185,7 @@ class _Running:
     index: int
     attempt: int
     deadline: Optional[float]
+    started: float = 0.0  # recorder-relative launch time (obs only)
 
 
 class ProcessExecutor:
@@ -268,13 +302,17 @@ class ProcessExecutor:
                 "timeout",
                 None,
                 "task exceeded its %.1fs deadline and was killed" % self.task_timeout,
+                None,
             )
             yield from self._settle(entry, outcome, backoff)
 
     def _launch(self, fn, item, index: int, attempt: int) -> _Running:
         parent_conn, child_conn = self._context.Pipe(duplex=False)
+        recorder = obs.get_recorder()
         process = self._context.Process(
-            target=_task_entry, args=(fn, item, child_conn), daemon=False
+            target=_task_entry,
+            args=(fn, item, child_conn, recorder is not None),
+            daemon=False,
         )
         process.start()
         child_conn.close()
@@ -282,13 +320,23 @@ class ProcessExecutor:
             time.monotonic() + self.task_timeout if self.task_timeout is not None else None
         )
         return _Running(
-            conn=parent_conn, process=process, index=index, attempt=attempt, deadline=deadline
+            conn=parent_conn,
+            process=process,
+            index=index,
+            attempt=attempt,
+            deadline=deadline,
+            started=recorder.now() if recorder is not None else 0.0,
         )
 
     def _collect(self, entry: _Running):
-        """Read the worker's report; classify a dead-silent worker as a crash."""
+        """Read the worker's report; classify a dead-silent worker as a crash.
+
+        Returns ``(status, value, message, obs_state)`` — the fourth
+        element is the worker's exported recorder state when the parent
+        asked for it (``None`` for untraced runs and crashed workers).
+        """
         try:
-            status, value, detail = entry.conn.recv()
+            report = entry.conn.recv()
         except (EOFError, OSError):
             entry.process.join(timeout=5.0)
             return (
@@ -296,6 +344,7 @@ class ProcessExecutor:
                 None,
                 "worker for task %d died without reporting (exitcode %s)"
                 % (entry.index, entry.process.exitcode),
+                None,
             )
         finally:
             try:
@@ -303,20 +352,55 @@ class ProcessExecutor:
             except Exception:
                 pass
         entry.process.join(timeout=5.0)
+        status, value, detail = report[0], report[1], report[2]
+        obs_state = report[3] if len(report) > 3 else None
         if status == "ok":
-            return ("ok", value, None)
+            return ("ok", value, None, obs_state)
         message = detail if detail else "".join(traceback.format_exception_only(type(value), value))
-        return ("error", value, message)
+        return ("error", value, message, obs_state)
 
     def _settle(self, entry: _Running, outcome, backoff):
-        status, value, message = outcome
+        status, value, message, obs_state = outcome
+        will_retry = status != "ok" and entry.attempt <= self.max_retries
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            # One parent-side span per attempt; the worker's own spans
+            # (shipped through the result pipe) are grafted under it with
+            # their timestamps re-based onto this recorder's timeline.
+            span_id = recorder.add_span(
+                "executor.task",
+                "executor",
+                entry.started,
+                recorder.now() - entry.started,
+                args={"index": entry.index, "attempt": entry.attempt, "status": status},
+            )
+            if obs_state is not None:
+                recorder.ingest(obs_state, at=entry.started, parent_span_id=span_id)
+            if entry.attempt == 1:
+                recorder.incr("executor.tasks")
+            if status == "error":
+                recorder.incr("executor.task_errors")
+            elif status == "crash":
+                recorder.incr("executor.crashes")
+            elif status == "timeout":
+                recorder.incr("executor.timeouts")
+            if will_retry:
+                recorder.incr("executor.retries")
+                recorder.event(
+                    "retry", index=entry.index, attempt=entry.attempt, kind=status
+                )
         if status == "ok":
             yield entry.index, value
             return
-        if entry.attempt <= self.max_retries:
+        if will_retry:
             delay = self.retry_backoff * (2 ** (entry.attempt - 1))
             backoff.append((time.monotonic() + delay, entry.index, entry.attempt + 1))
             return
+        if recorder is not None:
+            recorder.incr("executor.task_faults")
+            recorder.event(
+                "task_fault", index=entry.index, kind=status, attempts=entry.attempt
+            )
         yield entry.index, TaskFault(
             kind=status,
             message=str(message),

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench import registry
 from repro.utils.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
-from repro.bench.runner import run_scenarios, run_suite
+from repro.bench.runner import profile_filename, run_scenarios, run_suite
 from repro.bench.scenario import MetricSpec, Scenario, TaskSpec
 from repro.bench.store import RunStore
 from repro.utils.rng import random_seed_from, spawn_rngs
@@ -272,6 +272,29 @@ class TestProfiling:
         assert report.ok
         profiles = sorted((store.root / "profiles").glob("demo_runner__task-*.txt"))
         assert len(profiles) == 3
+
+    def test_profile_filenames_cannot_collide_across_tasks(self):
+        """Regression: ``a__b``/``c`` and ``a``/``b__c`` used to map to one file."""
+        first = profile_filename("prof_a__x", TaskSpec(name="t", params={}))
+        second = profile_filename("prof_a", TaskSpec(name="x__t", params={}))
+        assert first != second
+        # same (scenario, task) with different params also gets its own file
+        third = profile_filename("prof_a", TaskSpec(name="x__t", params={"seed": 1}))
+        assert second != third
+
+    def test_profile_filenames_are_filesystem_safe(self):
+        name = profile_filename("weird/scenario", TaskSpec(name="task:0 *", params={}))
+        assert "/" not in name and ":" not in name and "*" not in name and " " not in name
+        assert name.endswith(".txt")
+
+    def test_no_stale_profile_temp_files(self, demo_scenario, tmp_path):
+        scenario, _ = demo_scenario
+        store = RunStore(tmp_path / "profiled-clean")
+        report = run_scenarios(
+            [scenario], scale="smoke", store=store, workers=1, profile=True
+        )
+        assert report.ok
+        assert not list((store.root / "profiles").glob("*.tmp"))
 
 
 class TestExecutors:

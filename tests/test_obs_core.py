@@ -1,0 +1,164 @@
+"""Recorder semantics: spans, metrics, events, clock injection, merging."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def make_clock(step: float = 0.001):
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def test_disabled_hooks_are_noops():
+    assert obs.get_recorder() is None
+    assert not obs.enabled()
+    null = obs.span("anything", category="fit", k=3)
+    assert obs.span("other") is null  # shared singleton, no allocation
+    with null as handle:
+        assert handle.set(extra=1) is handle
+    obs.incr("c")
+    obs.gauge("g", 1.0)
+    obs.observe("h", 2.0)
+    obs.event("drift", cluster_id=1)
+    assert obs.get_recorder() is None
+
+
+def test_recording_restores_previous_state():
+    outer = obs.configure(trace_id="outer")
+    with obs.recording(trace_id="inner") as inner:
+        assert obs.get_recorder() is inner
+        assert inner.trace_id == "inner"
+    assert obs.get_recorder() is outer
+    with obs.suspended():
+        assert obs.get_recorder() is None
+    assert obs.get_recorder() is outer
+
+
+def test_span_nesting_and_injected_clock():
+    with obs.recording(clock=make_clock(0.5), trace_id="t") as rec:
+        with obs.span("outer", category="fit", k=4) as outer:
+            with obs.span("inner", category="fit") as inner:
+                pass
+            outer.set(note="done")
+    spans = {s["name"]: s for s in rec.spans}
+    assert spans["inner"]["parent"] == spans["outer"]["id"]
+    assert spans["outer"]["parent"] is None
+    # fake clock ticks 0.5 per call: enter/exit pairs give deterministic durations
+    assert spans["inner"]["dur"] == pytest.approx(0.5)
+    assert spans["outer"]["args"] == {"k": 4, "note": "done"}
+    assert rec.trace_id == "t"
+
+
+def test_span_records_exception_and_unwinds_stack():
+    with obs.recording(clock=make_clock()) as rec:
+        with pytest.raises(ValueError):
+            with obs.span("failing", category="fit"):
+                raise ValueError("boom")
+        with obs.span("after", category="fit"):
+            pass
+    spans = {s["name"]: s for s in rec.spans}
+    assert spans["failing"]["args"]["error"] == "ValueError"
+    assert spans["after"]["parent"] is None  # stack unwound despite the raise
+
+
+def test_counters_gauges_histograms_events():
+    with obs.recording(clock=make_clock()) as rec:
+        obs.incr("engine.gains_calls")
+        obs.incr("engine.gains_calls", 2.0)
+        obs.gauge("stream.clusters", 7)
+        obs.gauge("stream.clusters", 5)
+        obs.observe("stream.batch_size", 100)
+        obs.observe("stream.batch_size", 300)
+        obs.event("retire", cluster_id=3, reason="stale")
+    assert rec.counters["engine.gains_calls"] == 3.0
+    assert rec.gauges["stream.clusters"] == 5.0
+    assert rec.histograms["stream.batch_size"] == [100.0, 300.0]
+    (event,) = rec.events
+    assert event["kind"] == "retire"
+    assert event["details"] == {"cluster_id": 3, "reason": "stale"}
+
+
+def test_threaded_spans_parent_within_their_own_thread():
+    with obs.recording(clock=make_clock()) as rec:
+        with obs.span("main-root", category="test"):
+            done = threading.Event()
+
+            def worker():
+                with obs.span("thread-root", category="test"):
+                    with obs.span("thread-child", category="test"):
+                        pass
+                done.set()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert done.is_set()
+    spans = {s["name"]: s for s in rec.spans}
+    # the worker thread's stack is independent: its root has no parent
+    assert spans["thread-root"]["parent"] is None
+    assert spans["thread-child"]["parent"] == spans["thread-root"]["id"]
+    assert spans["thread-root"]["tid"] != spans["main-root"]["tid"]
+
+
+def test_export_and_ingest_rebase_and_reparent():
+    child = obs.Recorder(clock=make_clock(0.25), trace_id="shared")
+    child.pid = 4242
+    with child.span("task-work", "worker"):
+        with child.span("task-sub", "worker"):
+            pass
+    child.incr("worker.items", 3)
+    child.observe("worker.sizes", 11)
+    child.event("fault_injected", op="write")
+    state = child.export_state()
+
+    with obs.recording(clock=make_clock(1.0)) as parent:
+        parent.incr("worker.items", 1)
+        task_span = parent.add_span("executor.task", "executor", 10.0, 2.0, args={"index": 0})
+        parent.ingest(state, at=10.0, parent_span_id=task_span)
+
+    spans = {s["name"]: s for s in parent.spans}
+    assert spans["task-work"]["parent"] == task_span
+    assert spans["task-sub"]["parent"] == spans["task-work"]["id"]
+    # ids were remapped: no collisions with the parent's own span ids
+    assert len({s["id"] for s in parent.spans}) == len(parent.spans)
+    # timestamps re-based onto the parent timeline, pids preserved
+    assert spans["task-work"]["ts"] >= 10.0
+    assert spans["task-work"]["pid"] == 4242
+    assert parent.counters["worker.items"] == 4.0
+    assert parent.histograms["worker.sizes"] == [11.0]
+    (event,) = parent.events
+    assert event["ts"] >= 10.0
+
+
+def test_begin_child_recording_replaces_inherited_recorder():
+    parent = obs.configure(trace_id="parent")
+    with parent.span("parent-span", "fit"):
+        pass
+    child = obs.begin_child_recording(trace_id="parent")
+    assert obs.get_recorder() is child
+    assert child is not parent
+    assert child.spans == []  # inherited parent spans are not duplicated
+
+
+def test_wall_time_and_monotonic_are_floats():
+    assert isinstance(obs.wall_time(), float)
+    before = obs.monotonic()
+    assert obs.monotonic() >= before

@@ -1,0 +1,126 @@
+"""Exporters: Chrome trace shape, metrics snapshots, crash-safe writes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import summarize_histogram
+from repro.reliability import CHECKSUM_KEY
+from repro.reliability.atomic import read_json
+from tests.test_obs_core import make_clock
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _record_sample() -> obs.Recorder:
+    with obs.recording(clock=make_clock(), trace_id="sample") as rec:
+        with obs.span("fit", category="fit", k=3):
+            with obs.span("fit.assign", category="fit"):
+                obs.incr("engine.gains_calls")
+        obs.observe("stream.batch_size", 128)
+        obs.event("drift", cluster_id=1)
+    return rec
+
+
+def test_chrome_trace_shape_and_microseconds():
+    rec = _record_sample()
+    payload = obs.chrome_trace(rec)
+    assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert payload["otherData"]["trace_id"] == "sample"
+    events = payload["traceEvents"]
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert set(complete) == {"fit", "fit.assign"}
+    span = complete["fit.assign"]
+    assert span["cat"] == "fit"
+    assert span["dur"] > 0  # microseconds
+    assert span["args"]["parent_id"] == complete["fit"]["args"]["span_id"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["drift"]
+    assert instants[0]["args"] == {"cluster_id": 1}
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    # the whole payload must be JSON-serialisable (Perfetto loads it raw)
+    json.dumps(payload)
+
+
+def test_trace_round_trip_via_file(tmp_path):
+    rec = _record_sample()
+    path = tmp_path / "trace.json"
+    obs.write_chrome_trace(path, rec)
+    loaded = obs.load_chrome_trace(path)
+    assert loaded == obs.chrome_trace(rec)
+    with pytest.raises(ValueError):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no": "traceEvents"}')
+        obs.load_chrome_trace(bad)
+
+
+def test_metrics_snapshot_summaries():
+    rec = _record_sample()
+    snapshot = obs.metrics_snapshot(rec)
+    assert snapshot["schema_version"] == 1
+    assert snapshot["trace_id"] == "sample"
+    assert snapshot["counters"] == {"engine.gains_calls": 1.0}
+    assert snapshot["histograms"]["stream.batch_size"]["count"] == 1
+    assert snapshot["event_kinds"] == {"drift": 1}
+    assert snapshot["spans"]["count"] == 2
+    assert snapshot["spans"]["by_category"]["fit"]["count"] == 2
+    assert snapshot["n_hook_calls"] == rec.n_hook_calls > 0
+
+
+def test_metrics_written_checksummed(tmp_path):
+    rec = _record_sample()
+    path = tmp_path / "metrics.json"
+    obs.write_metrics(path, rec)
+    raw = json.loads(path.read_text())
+    assert CHECKSUM_KEY in raw
+    verified = read_json(path)  # raises IntegrityError on corruption
+    assert verified["counters"] == {"engine.gains_calls": 1.0}
+
+
+def test_summarize_histogram_quantiles():
+    assert summarize_histogram([]) == {"count": 0}
+    summary = summarize_histogram(list(range(1, 101)))
+    assert summary["count"] == 100
+    assert summary["min"] == 1 and summary["max"] == 100
+    assert summary["p50"] == 50
+    assert summary["p90"] == 90
+    assert summary["p99"] == 99
+
+
+def test_trace_session_noop_without_paths():
+    with obs.trace_session() as recorder:
+        assert recorder is None
+        assert not obs.enabled()
+
+
+def test_trace_session_writes_both_artifacts(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    logged = []
+    with obs.trace_session(trace=trace_path, metrics=metrics_path, log=logged.append):
+        with obs.span("fit", category="fit"):
+            pass
+    assert not obs.enabled()
+    assert obs.load_chrome_trace(trace_path)["traceEvents"]
+    assert read_json(metrics_path)["spans"]["count"] == 1
+    assert len(logged) == 2
+
+
+def test_trace_session_writes_on_error(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    with pytest.raises(RuntimeError):
+        with obs.trace_session(trace=trace_path):
+            with obs.span("doomed", category="fit"):
+                raise RuntimeError("boom")
+    payload = obs.load_chrome_trace(trace_path)
+    names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert names == ["doomed"]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Lint: library code must speak through ``repro.obs``, not stdout/clocks.
+
+A bare ``print(...)`` inside ``src/repro/`` library code bypasses the
+structured event log (and corrupts the output of any CLI built on top);
+a bare ``time.time()`` bypasses the injectable clock that keeps traces
+and tests deterministic.  Library modules emit through
+``repro.obs`` — ``obs.event`` / ``obs.log``-style hooks for messages,
+``obs.wall_time`` / ``obs.monotonic`` for time.
+
+Exempt, by design:
+
+* ``src/repro/obs/`` — the observability package itself wraps the real
+  clock and the report CLI prints;
+* any ``cli.py`` / ``__main__.py`` — command-line front-ends own their
+  stdout;
+* ``bench/perf_*.py``, ``bench/chaos.py`` — benchmark report mains,
+  invoked as scripts.
+
+The check is AST-based (comments and strings never trip it).  Run from
+the repository root (CI does)::
+
+    python tools/check_obs.py
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SCAN_ROOT = "src/repro"
+
+#: Glob patterns (relative to the repo root) exempt from the lint.
+EXEMPT_PATTERNS = (
+    "src/repro/obs/*",
+    "src/repro/*/cli.py",
+    "src/repro/*/__main__.py",
+    "src/repro/__main__.py",
+    "src/repro/bench/perf_*.py",
+    "src/repro/bench/chaos.py",
+)
+
+
+def is_exempt(relative: str) -> bool:
+    return any(fnmatch.fnmatch(relative, pattern) for pattern in EXEMPT_PATTERNS)
+
+
+def scan_file(path: Path):
+    """Yield ``(line, message)`` for every violation in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield node.lineno, "bare print() — emit via repro.obs or move to a CLI module"
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            yield node.lineno, "time.time() — use repro.obs.wall_time() (injectable clock)"
+
+
+def run() -> int:
+    violations = []
+    scanned = 0
+    for path in sorted((REPO_ROOT / SCAN_ROOT).rglob("*.py")):
+        relative = str(path.relative_to(REPO_ROOT))
+        if is_exempt(relative):
+            continue
+        scanned += 1
+        for line, message in scan_file(path):
+            violations.append("%s:%d: %s" % (relative, line, message))
+    for violation in violations:
+        print(violation)
+    print(
+        "checked %d library module(s): %d violation(s)" % (scanned, len(violations)),
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
