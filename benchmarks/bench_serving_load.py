@@ -1,0 +1,18 @@
+"""Thin wrapper: the serving-load benchmark lives in the library.
+
+The measurement core is :mod:`repro.bench.perf_serving_load` so the
+``repro-bench`` orchestrator (scenario ``serving_load``) and this script
+share one implementation.  Run either::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --smoke
+    PYTHONPATH=src python -m repro.bench run --suite smoke --scenario serving_load
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.perf_serving_load import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.bench.perf_assignment import run_benchmark as run_assignment_benchmar
 from repro.bench.perf_hotpath import run_benchmark as run_hotpath_benchmark
 from repro.bench.perf_obs import run_benchmark as run_obs_benchmark
 from repro.bench.perf_serving import run_benchmark as run_serving_benchmark
+from repro.bench.perf_serving_load import run_benchmark as run_serving_load_benchmark
 from repro.bench.perf_stream import run_benchmark as run_stream_benchmark
 from repro.data.generator import make_projected_clusters
 from repro.data.multigroup import make_multigroup_dataset
@@ -906,6 +907,69 @@ def _aggregate_serving(payloads: Sequence[Mapping[str, object]]) -> Dict[str, ob
             "artifact_roundtrip_seconds": float(report["artifact_roundtrip_seconds"]),
             "predict_peak_mib": float(report.get("predict_peak_mib", float("nan"))),
             "queries_marked_outlier": float(report["queries_marked_outlier"]),
+        },
+        "table": table,
+        "details": {"report": report},
+    }
+
+
+def _execute_serving_load(params: Mapping[str, object]) -> Dict[str, object]:
+    args = argparse.Namespace(
+        n_objects=int(params["n_objects"]),
+        n_dimensions=int(params["n_dimensions"]),
+        n_clusters=int(params["n_clusters"]),
+        fit_iterations=int(params["fit_iterations"]),
+        workers=int(params["workers"]),
+        max_batch=int(params["max_batch"]),
+        max_wait_us=float(params["max_wait_us"]),
+        connections=int(params["connections"]),
+        warmup=int(params["warmup"]),
+        n_sequential=int(params["n_sequential"]),
+        n_capacity=int(params["n_capacity"]),
+        n_open=int(params["n_open"]),
+        open_utilization=float(params["open_utilization"]),
+        min_speedup=float(params["min_speedup"]),
+        p99_budget_ms=float(params["p99_budget_ms"]),
+        seed=int(params["seed"]),
+        smoke=False,
+    )
+    return run_serving_load_benchmark(args)
+
+
+def _aggregate_serving_load(payloads: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    report = dict(payloads[0])
+    batcher = report.get("batcher", {})
+    table = "\n".join(
+        [
+            "sequential floor : %.0f req/s" % report["sequential_points_per_sec"],
+            "batched capacity : %.0f req/s (speedup %.2fx)"
+            % (report["batched_points_per_sec"], report["batching_speedup"]),
+            "open loop        : offered %.0f req/s, achieved %.0f req/s"
+            % (report["offered_points_per_sec"], report["achieved_open_loop_pps"]),
+            "latency          : p50 %.1f ms, p99 %.1f ms"
+            % (report["p50_latency_ms"], report["p99_latency_ms"]),
+            "batcher          : mean batch %.1f over %d flushes"
+            % (batcher.get("mean_batch_size", 0.0), batcher.get("n_flushes", 0)),
+            "bit-identical    : %s (%d labels)"
+            % (report["labels_bit_identical"], report["n_labels_checked"]),
+        ]
+    )
+    return {
+        "metrics": {
+            "labels_bit_identical": 1.0 if report["labels_bit_identical"] else 0.0,
+            # The absolute claim rides the boolean floor (>= min_speedup
+            # measured in-process, both phases equally contended); the
+            # raw ratio is additionally tracked with a wide tolerance
+            # for trend visibility on shared runners.
+            "speedup_floor_ok": 1.0 if report["speedup_floor_ok"] else 0.0,
+            "p99_within_budget": 1.0 if report["p99_within_budget"] else 0.0,
+            "batching_speedup": float(report["batching_speedup"]),
+            "sequential_points_per_sec": float(report["sequential_points_per_sec"]),
+            "batched_points_per_sec": float(report["batched_points_per_sec"]),
+            "p50_latency_ms": float(report["p50_latency_ms"]),
+            "p99_latency_ms": float(report["p99_latency_ms"]),
+            "mean_batch_size": float(batcher.get("mean_batch_size", 0.0)),
+            "achieved_open_loop_pps": float(report["achieved_open_loop_pps"]),
         },
         "table": table,
         "details": {"report": report},
@@ -1875,6 +1939,92 @@ registry.register(
             MetricSpec("artifact_roundtrip_seconds", "timing"),
             MetricSpec("predict_peak_mib", "info"),
             MetricSpec("queries_marked_outlier", "info"),
+        ),
+    )
+)
+
+registry.register(
+    Scenario(
+        scenario_id="serving_load",
+        figure="perf",
+        title="Serving load: micro-batched HTTP daemon vs sequential floor",
+        group="serving_load",
+        scale_configs={
+            # d, k and the batcher knobs stay fixed at the acceptance
+            # configuration across scales; only fit size, request
+            # volumes and the worker count change.
+            "smoke": {
+                "n_objects": 800,
+                "n_dimensions": 100,
+                "n_clusters": 10,
+                "fit_iterations": 3,
+                "workers": 2,
+                "max_batch": 128,
+                "max_wait_us": 5000.0,
+                "connections": 128,
+                "warmup": 20,
+                "n_sequential": 300,
+                "n_capacity": 5000,
+                "n_open": 3000,
+                "open_utilization": 0.5,
+                "min_speedup": 4.0,
+                "p99_budget_ms": 300.0,
+                "seed": 13,
+            },
+            "reduced": {
+                "n_objects": 2000,
+                "n_dimensions": 100,
+                "n_clusters": 10,
+                "fit_iterations": 6,
+                "workers": 2,
+                "max_batch": 128,
+                "max_wait_us": 5000.0,
+                "connections": 128,
+                "warmup": 20,
+                "n_sequential": 500,
+                "n_capacity": 8000,
+                "n_open": 6000,
+                "open_utilization": 0.5,
+                "min_speedup": 4.0,
+                "p99_budget_ms": 300.0,
+                "seed": 13,
+            },
+            "paper": {
+                "n_objects": 5000,
+                "n_dimensions": 100,
+                "n_clusters": 10,
+                "fit_iterations": 10,
+                "workers": 2,
+                "max_batch": 128,
+                "max_wait_us": 5000.0,
+                "connections": 128,
+                "warmup": 50,
+                "n_sequential": 1000,
+                "n_capacity": 12000,
+                "n_open": 8000,
+                "open_utilization": 0.5,
+                "min_speedup": 4.0,
+                "p99_budget_ms": 300.0,
+                "seed": 13,
+            },
+        },
+        plan=_plan_single,
+        execute=_execute_serving_load,
+        aggregate=_aggregate_serving_load,
+        metrics=(
+            MetricSpec("labels_bit_identical", "accuracy", "higher", 0.0),
+            MetricSpec("speedup_floor_ok", "accuracy", "higher", 0.0),
+            MetricSpec("p99_within_budget", "accuracy", "higher", 0.0),
+            # Client and server share one event loop, so the ratio is
+            # contention-robust; absolute req/s on shared runners is
+            # not, hence the wide tolerance and info/timing kinds below.
+            MetricSpec("batching_speedup", "throughput", "higher", 0.6),
+            MetricSpec("sequential_points_per_sec", "timing"),
+            MetricSpec("batched_points_per_sec", "timing"),
+            MetricSpec("p50_latency_ms", "timing"),
+            MetricSpec("p99_latency_ms", "timing"),
+            MetricSpec("mean_batch_size", "info"),
+            MetricSpec("achieved_open_loop_pps", "info"),
         ),
     )
 )

@@ -1,0 +1,8 @@
+"""``python -m repro.server`` — same entry point as ``repro-server``."""
+
+import sys
+
+from repro.server.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,390 @@
+"""The routed serving application: ``PredictServer``.
+
+One asyncio event loop accepts connections, parses requests
+(:mod:`repro.server.http`), and dispatches:
+
+``POST /predict``
+    ``{"point": [..]}`` rides the :class:`~repro.server.batcher.MicroBatcher`
+    — concurrent single-point requests coalesce into one blocked-kernel
+    call.  ``{"points": [[..], ..]}`` is already a batch and goes straight
+    to the backend.  Labels are bit-identical to
+    :meth:`~repro.serving.index.ProjectedClusterIndex.predict` — the
+    batcher only *stacks* requests, and JSON round-trips floats exactly.
+``POST /predict_soft``
+    Top-``m`` soft assignments (labels, cluster ids, gains); ``-inf``
+    gain padding is emitted as JSON ``-Infinity``.
+``POST /partial_update``
+    The write path.  Serialised by an application-level lock, folded
+    through the backend's single owner (worker 0), persisted as a new
+    artifact generation under ``state_dir`` (crash-safe save + atomic
+    ``CURRENT`` pointer), then rebroadcast to replicas.  The response
+    carries the new generation number.
+``GET /healthz``
+    Liveness + shape: generation, worker counts, cluster/dimension
+    counts, uptime.
+``GET /metrics``
+    Batcher statistics (batch-size / queue-wait percentiles, flush
+    reasons), per-route request counters, and error counts.
+
+Every response carries the artifact ``generation`` it was served from,
+so a client interleaving folds and predicts can tell which state
+answered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.reliability import atomic_write_text
+from repro.server.batcher import MicroBatcher
+from repro.server.http import HTTPError, HTTPRequest, json_response, read_request
+from repro.server.pool import BackendError, make_backend
+
+PathLike = Union[str, Path]
+
+__all__ = ["PredictServer", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`PredictServer`."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port (reported by :meth:`PredictServer.start`).
+    port: int = 0
+    #: ``0`` runs the index in-process; ``N >= 1`` forks N pool workers.
+    workers: int = 0
+    #: Micro-batcher: flush at this many pending single-point requests.
+    max_batch: int = 64
+    #: Micro-batcher: oldest pending request waits at most this long.
+    max_wait_us: float = 2000.0
+    #: Adapt the batching wait to observed concurrency (see batcher docs).
+    adaptive_batching: bool = True
+    #: Assignment center the index is built with.
+    center: str = "median"
+    #: ``"r"`` maps the artifact (shared pages); ``None`` loads eagerly.
+    mmap_mode: Optional[str] = "r"
+    #: Where ``partial_update`` generations land; ``None`` = private tempdir.
+    state_dir: Optional[str] = None
+    #: Reject request bodies larger than this.
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: Close keep-alive connections idle longer than this.
+    idle_timeout_s: float = 300.0
+
+
+class PredictServer:
+    """The serving daemon: routes, batcher, backend, and lifecycle."""
+
+    def __init__(self, artifact_path: PathLike, config: Optional[ServerConfig] = None) -> None:
+        self.artifact_path = str(artifact_path)
+        self.config = config or ServerConfig()
+        self.backend = make_backend(
+            self.artifact_path,
+            n_workers=self.config.workers,
+            center=self.config.center,
+            mmap_mode=self.config.mmap_mode,
+        )
+        self.batcher = MicroBatcher(
+            self._flush_predict,
+            max_batch=self.config.max_batch,
+            max_wait_us=self.config.max_wait_us,
+            adaptive=self.config.adaptive_batching,
+        )
+        self.generation = 0
+        # Route table is hot (hit once per request) — build it once.
+        self._routes = {
+            ("POST", "/predict"): self._handle_predict,
+            ("POST", "/predict_soft"): self._handle_predict_soft,
+            ("POST", "/partial_update"): self._handle_partial_update,
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+        }
+        self._known_paths = {path for _, path in self._routes}
+        self.request_counts: Dict[Tuple[str, str], int] = {}
+        self.error_counts: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._conn_last_active: Dict[object, Tuple[float, asyncio.StreamWriter]] = {}
+        self._sweeper: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._started_at: Optional[float] = None
+        self._n_dimensions: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Boot the backend and bind the listener; returns ``(host, port)``."""
+        with obs.span("server.start", category="server"):
+            await self.backend.start()
+            # Workers exist only now, so the flush gate is set post-boot.
+            self.batcher.max_concurrency = self.backend.parallelism
+            description = self.backend.describe()
+            self._n_dimensions = int(description.get("n_dimensions", 0)) or None
+            if self.config.state_dir is None:
+                self._tempdir = tempfile.TemporaryDirectory(prefix="repro-server-")
+                self._state_dir = Path(self._tempdir.name)
+            else:
+                self._state_dir = Path(self.config.state_dir)
+                self._state_dir.mkdir(parents=True, exist_ok=True)
+            self._server = await asyncio.start_server(
+                self._handle_client, self.config.host, self.config.port
+            )
+            self._started_at = obs.monotonic()
+            if self.config.idle_timeout_s > 0:
+                self._sweeper = asyncio.get_running_loop().create_task(self._sweep_idle())
+        sockets = self._server.sockets or ()
+        host, port = sockets[0].getsockname()[:2]
+        obs.event("server_started", host=host, port=port, workers=self.config.workers)
+        return host, port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def _sweep_idle(self) -> None:
+        """Close connections idle past ``idle_timeout_s`` (periodic sweep)."""
+        interval = max(1.0, self.config.idle_timeout_s / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            deadline = obs.monotonic() - self.config.idle_timeout_s
+            for last_seen, writer in list(self._conn_last_active.values()):
+                if last_seen < deadline:
+                    writer.close()  # the handler's blocked read returns EOF
+
+    async def stop(self) -> None:
+        """Drain the batcher, stop the listener and the backend."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections never EOF on their own; cancel
+        # their handler tasks so shutdown does not hang or log spew.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.batcher.drain()
+        await self.backend.stop()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        # Idle reaping is a sweep over connection timestamps, NOT an
+        # asyncio.wait_for per request — wrapping every read in a timer
+        # costs tens of µs/request, which under micro-batched load is
+        # comparable to the amortised kernel itself.
+        self._conn_last_active[task] = (obs.monotonic(), writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    )
+                except HTTPError as exc:
+                    self._count_error(exc.status)
+                    writer.write(
+                        json_response(
+                            {"error": exc.message}, status=exc.status, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._conn_last_active[task] = (obs.monotonic(), writer)
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown closing an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+                self._conn_last_active.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: HTTPRequest) -> bytes:
+        route = (request.method, request.path)
+        self.request_counts[route] = self.request_counts.get(route, 0) + 1
+        keep = request.keep_alive
+        try:
+            handler = self._route(request)
+            payload, status = await handler(request)
+            return json_response(payload, status=status, keep_alive=keep)
+        except HTTPError as exc:
+            self._count_error(exc.status)
+            return json_response({"error": exc.message}, status=exc.status, keep_alive=keep)
+        except BackendError as exc:
+            self._count_error(503)
+            obs.event("backend_error", route="%s %s" % route, error=str(exc))
+            return json_response({"error": str(exc)}, status=503, keep_alive=keep)
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die per-request
+            self._count_error(500)
+            obs.event("server_error", route="%s %s" % route, error=repr(exc))
+            return json_response(
+                {"error": "internal error: %r" % exc}, status=500, keep_alive=keep
+            )
+
+    def _route(self, request: HTTPRequest):
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            if request.path in self._known_paths:
+                raise HTTPError(405, "method %s not allowed on %s" % (request.method, request.path))
+            raise HTTPError(404, "no route for %s" % request.path)
+        return handler
+
+    def _count_error(self, status: int) -> None:
+        key = str(status)
+        self.error_counts[key] = self.error_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # request parsing helpers
+    # ------------------------------------------------------------------ #
+    def _parse_points(self, payload: object) -> Tuple[np.ndarray, bool]:
+        """``(points_2d, is_single)`` from a ``point`` / ``points`` body."""
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        if ("point" in payload) == ("points" in payload):
+            raise HTTPError(400, "provide exactly one of 'point' or 'points'")
+        single = "point" in payload
+        raw = payload["point"] if single else payload["points"]
+        try:
+            points = np.asarray(raw, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, "points are not numeric: %s" % exc) from exc
+        if single:
+            if points.ndim != 1:
+                raise HTTPError(400, "'point' must be a flat list of numbers")
+            points = points[None, :]
+        elif points.ndim != 2:
+            raise HTTPError(400, "'points' must be a list of equal-length rows")
+        if points.size == 0:
+            raise HTTPError(400, "empty point set")
+        if self._n_dimensions is not None and points.shape[1] != self._n_dimensions:
+            raise HTTPError(
+                400,
+                "points have %d dimensions, the artifact has %d"
+                % (points.shape[1], self._n_dimensions),
+            )
+        return points, single
+
+    async def _flush_predict(self, points: np.ndarray) -> np.ndarray:
+        return await self.backend.predict(points)
+
+    # ------------------------------------------------------------------ #
+    # handlers — each returns (payload, status)
+    # ------------------------------------------------------------------ #
+    async def _handle_predict(self, request: HTTPRequest):
+        points, single = self._parse_points(request.json())
+        if single:
+            label = await self.batcher.submit(points[0])
+            return {"label": int(label), "generation": self.generation}, 200
+        labels = await self.backend.predict(points)
+        return {
+            "labels": [int(label) for label in labels],
+            "generation": self.generation,
+        }, 200
+
+    async def _handle_predict_soft(self, request: HTTPRequest):
+        payload = request.json()
+        points, single = self._parse_points(payload)
+        top_m = payload.get("top_m", 3) if isinstance(payload, dict) else 3
+        if not isinstance(top_m, int) or top_m < 1:
+            raise HTTPError(400, "'top_m' must be a positive integer")
+        labels, clusters, gains = await self.backend.predict_soft(points, top_m)
+        body = {
+            "labels": [int(label) for label in labels],
+            "clusters": [[int(c) for c in row] for row in clusters],
+            "gains": [[float(g) for g in row] for row in gains],
+            "generation": self.generation,
+        }
+        if single:
+            body.update(
+                label=body["labels"][0],
+                clusters=body["clusters"][0],
+                gains=body["gains"][0],
+            )
+            del body["labels"]
+        return body, 200
+
+    async def _handle_partial_update(self, request: HTTPRequest):
+        payload = request.json()
+        points, _ = self._parse_points(payload)
+        labels = None
+        if isinstance(payload, dict) and payload.get("labels") is not None:
+            labels = np.asarray(payload["labels"], dtype=int).ravel()
+            if labels.shape[0] != points.shape[0]:
+                raise HTTPError(400, "'labels' must match 'points' row for row")
+        async with self._write_lock:
+            next_generation = self.generation + 1
+            generation_dir = self._state_dir / ("gen-%06d" % next_generation)
+            with obs.span("server.partial_update", category="server") as update_span:
+                applied, absorbed = await self.backend.partial_update(
+                    points, labels, str(generation_dir)
+                )
+                # The generation is durable before anyone is told about it:
+                # owner saved above (atomic), pointer flip below (atomic).
+                atomic_write_text(self._state_dir / "CURRENT", generation_dir.name)
+                await self.backend.reload_replicas(str(generation_dir))
+                self.generation = next_generation
+                update_span.set(rows=int(points.shape[0]), absorbed=absorbed)
+        return {
+            "applied_labels": [int(label) for label in applied],
+            "absorbed": int(absorbed),
+            "generation": self.generation,
+        }, 200
+
+    async def _handle_healthz(self, request: HTTPRequest):
+        description = self.backend.describe()
+        uptime = 0.0
+        if self._started_at is not None:
+            uptime = obs.monotonic() - self._started_at
+        status = 200 if self.backend.alive_workers > 0 else 503
+        return {
+            "status": "ok" if status == 200 else "degraded",
+            "generation": self.generation,
+            "uptime_s": round(uptime, 3),
+            **description,
+        }, status
+
+    async def _handle_metrics(self, request: HTTPRequest):
+        return {
+            "batcher": self.batcher.stats.snapshot(),
+            "requests": {
+                "%s %s" % route: count for route, count in self.request_counts.items()
+            },
+            "errors": dict(self.error_counts),
+            "generation": self.generation,
+            "batcher_depth": self.batcher.depth,
+            "batcher_max_wait_us": self.batcher.max_wait_us,
+        }, 200

@@ -1,0 +1,111 @@
+"""``repro-server`` — boot the serving daemon from a shell.
+
+Usage::
+
+    repro-server artifacts/expr-v1 --port 8757 --workers 2
+
+Prints one ``READY host=... port=...`` line to stdout once the listener
+is bound (CI's daemon smoke test waits for it), then serves until
+SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.server.app import PredictServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve a saved ModelArtifact over HTTP with micro-batched predicts.",
+    )
+    parser.add_argument("artifact", help="artifact directory (MANIFEST.json + arrays.npz)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8757, help="bind port, 0 for ephemeral (default %(default)s)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes sharing the mmap'd artifact; 0 serves in-process (default)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batcher flush size (default %(default)s)"
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="micro-batcher max coalescing wait in microseconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="always wait --max-wait-us instead of adapting to observed concurrency",
+    )
+    parser.add_argument(
+        "--center",
+        default="median",
+        choices=("median", "mean"),
+        help="assignment center (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load the artifact eagerly instead of memory-mapping it",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="where partial_update generations are persisted (default: private tempdir)",
+    )
+    return parser
+
+
+async def _run(config: ServerConfig, artifact: str) -> int:
+    server = PredictServer(artifact, config)
+    host, port = await server.start()
+    print("READY host=%s port=%d workers=%d" % (host, port, config.workers), flush=True)
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    try:
+        await stop_event.wait()
+    finally:
+        await server.stop()
+    print("STOPPED", flush=True)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        adaptive_batching=not args.no_adaptive,
+        center=args.center,
+        mmap_mode=None if args.no_mmap else "r",
+        state_dir=args.state_dir,
+    )
+    try:
+        return asyncio.run(_run(config, args.artifact))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C fallback
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

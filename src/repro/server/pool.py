@@ -1,0 +1,456 @@
+"""Compute backends for the serving daemon: in-process or a worker-process pool.
+
+Both backends expose the same ``async`` surface (``predict`` /
+``predict_soft`` / ``partial_update`` / ``reload_replicas``) so the
+application layer does not care where the kernel runs:
+
+* :class:`InProcessBackend` (``workers=0``) holds one
+  :class:`~repro.serving.index.ProjectedClusterIndex` and runs every
+  kernel call on a single dedicated compute thread — the event loop
+  keeps parsing requests while numpy works, and one thread means the
+  index needs no locking.
+* :class:`WorkerPoolBackend` (``workers >= 1``) forks N worker
+  processes that each map the *same* artifact
+  (``load_artifact(..., mmap_mode="r")`` → one set of physical pages
+  machine-wide) and build a zero-copy index over it
+  (``copy_arrays=False``).  Requests round-robin across idle workers
+  over pipes; each worker handles one message at a time, so a worker's
+  index is never touched concurrently.
+
+Ownership (the write path)
+--------------------------
+``partial_update`` mutates serving state, and replicas that fold
+independently would diverge.  The pool routes **every fold through
+worker 0 — the owner**.  The owner applies the fold, persists its
+post-fold state as a fresh artifact *generation* (crash-safe via the
+artifact's atomic save), and the parent then tells every replica to
+drop its index and rebuild from the new generation — again via mmap, so
+the rebroadcast costs page-cache references, not copies.  An index
+rebuilt from an exported artifact serves bit-identically to its source
+(the ``export_artifact`` contract), so after the rebroadcast every
+worker answers ``/predict`` with the exact same labels.  In-flight
+predicts racing a rebroadcast simply finish on the generation their
+worker held when they arrived — the response's ``generation`` tag says
+which.
+
+A worker that dies (OOM, kill) poisons only the requests in flight on
+it; the handle is marked dead and routing skips it.  The pool never
+respawns silently — ``/healthz`` reports live worker counts and an
+operator (or orchestrator) restarts the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.serving.artifact import load_artifact
+from repro.serving.index import ProjectedClusterIndex
+from repro.serving.npz_mmap import CompressedMemberError
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "BackendError",
+    "InProcessBackend",
+    "WorkerPoolBackend",
+    "build_serving_index",
+    "make_backend",
+]
+
+#: Seconds a pipe round trip may take before the worker is declared hung.
+DEFAULT_CALL_TIMEOUT_S = 120.0
+
+
+class BackendError(RuntimeError):
+    """A compute backend failed to answer (worker error, crash or hang)."""
+
+
+def build_serving_index(
+    artifact_path: PathLike,
+    *,
+    center: str = "median",
+    mmap_mode: Optional[str] = "r",
+) -> ProjectedClusterIndex:
+    """Build the daemon's index over an artifact, preferring the mmap path.
+
+    Artifacts written before the uncompressed-NPZ schema cannot be
+    mapped; they fall back to the eager load (with an ``obs`` event so
+    the fallback is visible in traces) instead of failing the boot.
+    """
+    if mmap_mode is None:
+        return ProjectedClusterIndex(load_artifact(artifact_path), center=center)
+    try:
+        artifact = load_artifact(artifact_path, mmap_mode=mmap_mode)
+    except CompressedMemberError:
+        obs.event("mmap_fallback", path=str(artifact_path))
+        return ProjectedClusterIndex(load_artifact(artifact_path), center=center)
+    return ProjectedClusterIndex(artifact, center=center, copy_arrays=False)
+
+
+# ---------------------------------------------------------------------- #
+# worker process
+# ---------------------------------------------------------------------- #
+def _apply_partial_update(
+    index: ProjectedClusterIndex,
+    points: np.ndarray,
+    labels: Optional[np.ndarray],
+    save_to: Optional[str],
+) -> Tuple[np.ndarray, int]:
+    """Fold points into ``index``; persist the post-fold generation if asked."""
+    before = index.n_points_absorbed
+    applied = index.partial_update(points, labels)
+    absorbed = index.n_points_absorbed - before
+    if save_to is not None:
+        index.export_artifact().save(save_to)
+    return applied, int(absorbed)
+
+
+def _worker_main(
+    conn,
+    artifact_path: str,
+    center: str,
+    mmap_mode: Optional[str],
+) -> None:
+    """Run one pool worker: build the index, answer ops until ``stop``.
+
+    Messages are ``(op, *args)`` tuples; replies are ``("ok", payload)``
+    or ``("error", type, message, traceback)``.  One message at a time,
+    by construction — the parent holds a per-worker lock.
+    """
+    try:
+        index = build_serving_index(artifact_path, center=center, mmap_mode=mmap_mode)
+        conn.send(("ok", {"n_clusters": index.n_clusters, "n_dimensions": index.n_dimensions}))
+    except BaseException as exc:
+        conn.send(("error", type(exc).__name__, str(exc), traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        try:
+            if op == "predict":
+                payload = index.predict(message[1])
+            elif op == "predict_soft":
+                labels, clusters, gains = index.top_assignments(message[1], message[2])
+                payload = (labels, clusters, gains)
+            elif op == "partial_update":
+                payload = _apply_partial_update(index, message[1], message[2], message[3])
+            elif op == "reload":
+                index = build_serving_index(message[1], center=center, mmap_mode=mmap_mode)
+                payload = {"n_clusters": index.n_clusters}
+            elif op == "info":
+                payload = {
+                    "n_clusters": index.n_clusters,
+                    "n_dimensions": index.n_dimensions,
+                    "n_points_absorbed": int(index.n_points_absorbed),
+                }
+            elif op == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError("unknown worker op %r" % (op,))
+            conn.send(("ok", payload))
+        except BaseException as exc:
+            conn.send(("error", type(exc).__name__, str(exc), traceback.format_exc()))
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, position: int, process, conn) -> None:
+        self.position = position
+        self.process = process
+        self.conn = conn
+        self.alock = asyncio.Lock()  # event-loop side: one op in flight
+        self._io_lock = threading.Lock()  # executor side: pipe is not thread-safe
+        self.alive = True
+
+    def roundtrip_boot(self, timeout: float) -> object:
+        """Receive the worker's boot report (no request message to send)."""
+        with self._io_lock:
+            if not self.conn.poll(timeout):
+                self.alive = False
+                raise BackendError(
+                    "worker %d did not boot within %.0fs" % (self.position, timeout)
+                )
+            try:
+                reply = self.conn.recv()
+            except (EOFError, OSError) as exc:
+                self.alive = False
+                raise BackendError(
+                    "worker %d died during boot: %s" % (self.position, exc)
+                ) from exc
+        if reply[0] == "ok":
+            return reply[1]
+        _, kind, msg, tb = reply
+        self.alive = False
+        raise BackendError(
+            "worker %d failed to boot: %s: %s\n%s" % (self.position, kind, msg, tb)
+        )
+
+    def roundtrip(self, message, timeout: float) -> object:
+        """Blocking send + recv (runs on an executor thread)."""
+        with self._io_lock:
+            try:
+                self.conn.send(message)
+                if not self.conn.poll(timeout):
+                    self.alive = False
+                    raise BackendError(
+                        "worker %d did not answer %r within %.0fs"
+                        % (self.position, message[0], timeout)
+                    )
+                reply = self.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                self.alive = False
+                raise BackendError(
+                    "worker %d died during %r: %s" % (self.position, message[0], exc)
+                ) from exc
+        if reply[0] == "ok":
+            return reply[1]
+        _, kind, msg, tb = reply
+        raise BackendError("worker %d failed %r: %s: %s\n%s" % (self.position, message[0], kind, msg, tb))
+
+
+# ---------------------------------------------------------------------- #
+# backends
+# ---------------------------------------------------------------------- #
+class InProcessBackend:
+    """``workers=0``: the index lives in the daemon process itself.
+
+    All kernel calls run on one dedicated thread, so the event loop
+    stays responsive during compute and the index sees no concurrency.
+    """
+
+    n_workers = 0
+
+    def __init__(
+        self,
+        artifact_path: PathLike,
+        *,
+        center: str = "median",
+        mmap_mode: Optional[str] = "r",
+    ) -> None:
+        self.artifact_path = str(artifact_path)
+        self.center = center
+        self.mmap_mode = mmap_mode
+        self._index: Optional[ProjectedClusterIndex] = None
+        self._compute = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-serve")
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._index = await loop.run_in_executor(
+            self._compute,
+            lambda: build_serving_index(
+                self.artifact_path, center=self.center, mmap_mode=self.mmap_mode
+            ),
+        )
+
+    async def stop(self) -> None:
+        self._compute.shutdown(wait=False)
+
+    @property
+    def index(self) -> ProjectedClusterIndex:
+        if self._index is None:
+            raise BackendError("backend is not started")
+        return self._index
+
+    @property
+    def alive_workers(self) -> int:
+        return 1 if self._index is not None else 0
+
+    @property
+    def parallelism(self) -> int:
+        """One compute thread — one flush can make progress at a time."""
+        return 1
+
+    def describe(self) -> dict:
+        return {
+            "workers": 0,
+            "n_clusters": self.index.n_clusters,
+            "n_dimensions": self.index.n_dimensions,
+        }
+
+    async def _run(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(self._compute, fn, *args)
+
+    async def predict(self, points: np.ndarray) -> np.ndarray:
+        return await self._run(self.index.predict, points)
+
+    async def predict_soft(self, points: np.ndarray, top_m: int):
+        return await self._run(self.index.top_assignments, points, top_m)
+
+    async def partial_update(
+        self,
+        points: np.ndarray,
+        labels: Optional[np.ndarray],
+        save_to: Optional[str],
+    ) -> Tuple[np.ndarray, int]:
+        return await self._run(_apply_partial_update, self.index, points, labels, save_to)
+
+    async def reload_replicas(self, path: str) -> None:
+        """No replicas: the owner is the only index."""
+
+
+class WorkerPoolBackend:
+    """N worker processes sharing one mmap'd artifact; worker 0 owns writes."""
+
+    def __init__(
+        self,
+        artifact_path: PathLike,
+        *,
+        n_workers: int,
+        center: str = "median",
+        mmap_mode: Optional[str] = "r",
+        call_timeout_s: float = DEFAULT_CALL_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("WorkerPoolBackend needs at least 1 worker")
+        self.artifact_path = str(artifact_path)
+        self.n_workers = int(n_workers)
+        self.center = center
+        self.mmap_mode = mmap_mode
+        self.call_timeout_s = float(call_timeout_s)
+        self._handles: List[_WorkerHandle] = []
+        self._rr = 0
+        self._info: dict = {}
+
+    async def start(self) -> None:
+        # Fork shares the parent's page cache references immediately;
+        # spawn (macOS/Windows) re-imports and re-maps, same sharing.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            context = multiprocessing.get_context("spawn")
+        loop = asyncio.get_running_loop()
+        for position in range(self.n_workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, self.artifact_path, self.center, self.mmap_mode),
+                daemon=True,
+                name="repro-server-worker-%d" % position,
+            )
+            process.start()
+            child_conn.close()
+            handle = _WorkerHandle(position, process, parent_conn)
+            # The worker's first message is its boot report.
+            self._info = await loop.run_in_executor(
+                None, handle.roundtrip_boot, self.call_timeout_s
+            )
+            self._handles.append(handle)
+
+    async def stop(self) -> None:
+        loop = asyncio.get_running_loop()
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                async with handle.alock:
+                    await loop.run_in_executor(None, handle.roundtrip, ("stop",), 5.0)
+            except BackendError:
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for handle in self._handles if handle.alive)
+
+    @property
+    def parallelism(self) -> int:
+        """One flush per live worker can be in flight at once."""
+        return max(1, self.alive_workers)
+
+    @property
+    def owner(self) -> _WorkerHandle:
+        return self._handles[0]
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.n_workers,
+            "alive_workers": self.alive_workers,
+            **self._info,
+        }
+
+    def _pick(self) -> _WorkerHandle:
+        """An idle live worker if any, else round-robin over live workers."""
+        live = [handle for handle in self._handles if handle.alive]
+        if not live:
+            raise BackendError("no live workers")
+        for handle in live:
+            if not handle.alock.locked():
+                return handle
+        self._rr = (self._rr + 1) % len(live)
+        return live[self._rr]
+
+    async def _call(self, handle: _WorkerHandle, message) -> object:
+        loop = asyncio.get_running_loop()
+        async with handle.alock:
+            return await loop.run_in_executor(
+                None, handle.roundtrip, message, self.call_timeout_s
+            )
+
+    async def predict(self, points: np.ndarray) -> np.ndarray:
+        return await self._call(self._pick(), ("predict", points))
+
+    async def predict_soft(self, points: np.ndarray, top_m: int):
+        return await self._call(self._pick(), ("predict_soft", points, top_m))
+
+    async def partial_update(
+        self,
+        points: np.ndarray,
+        labels: Optional[np.ndarray],
+        save_to: Optional[str],
+    ) -> Tuple[np.ndarray, int]:
+        """Fold through the single owner (worker 0)."""
+        if not self.owner.alive:
+            raise BackendError("owner worker is dead; the write path is unavailable")
+        applied, absorbed = await self._call(
+            self.owner, ("partial_update", points, labels, save_to)
+        )
+        return applied, absorbed
+
+    async def reload_replicas(self, path: str) -> None:
+        """Point every replica (not the owner) at a new artifact generation."""
+        tasks = [
+            self._call(handle, ("reload", path))
+            for handle in self._handles[1:]
+            if handle.alive
+        ]
+        if tasks:
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            for result in results:
+                if isinstance(result, BaseException):
+                    obs.event("replica_reload_failed", error=str(result))
+
+
+def make_backend(
+    artifact_path: PathLike,
+    *,
+    n_workers: int,
+    center: str = "median",
+    mmap_mode: Optional[str] = "r",
+) -> Union[InProcessBackend, WorkerPoolBackend]:
+    """The backend the configuration asks for (``n_workers=0`` → in-process)."""
+    if n_workers == 0:
+        return InProcessBackend(artifact_path, center=center, mmap_mode=mmap_mode)
+    return WorkerPoolBackend(
+        artifact_path, n_workers=n_workers, center=center, mmap_mode=mmap_mode
+    )

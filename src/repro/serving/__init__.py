@@ -37,13 +37,16 @@ from repro.serving.artifact import (
     threshold_from_description,
 )
 from repro.serving.index import ProjectedClusterIndex, ServingClusterStats
+from repro.serving.npz_mmap import CompressedMemberError, mmap_npz
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "SCHEMA_VERSION",
     "ClusterModel",
+    "CompressedMemberError",
     "ModelArtifact",
     "load_artifact",
+    "mmap_npz",
     "threshold_from_description",
     "ProjectedClusterIndex",
     "ServingClusterStats",

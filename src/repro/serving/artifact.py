@@ -40,6 +40,19 @@ SHA-256 checksum per array plus a self-checksum over its own canonical
 form; :func:`load_artifact` verifies both and raises a typed
 :class:`~repro.reliability.integrity.IntegrityError` naming the damaged
 payload.  Schema-1 artifacts (no checksums) still load, unverified.
+
+Shared memory (schema 3): ``arrays.npz`` is written *uncompressed*
+(``numpy.savez``), which makes every embedded ``.npy`` payload a
+contiguous byte range of the archive — so ``load_artifact(path,
+mmap_mode="r")`` maps the arrays straight out of the page cache via
+:mod:`repro.serving.npz_mmap` instead of allocating private copies.  N
+serving workers that map the same artifact share one set of physical
+pages; ``mmap_mode="c"`` (copy-on-write) additionally lets a process
+scribble on its views without touching the file or its siblings.  The
+SHA-256 array checksums are verified over the mapped views on load, so
+the integrity contract is identical on both paths.  Compressed bundles
+from schema <= 2 still load eagerly; asking to map one raises
+:class:`~repro.serving.npz_mmap.CompressedMemberError`.
 """
 
 from __future__ import annotations
@@ -67,11 +80,12 @@ from repro.reliability import (
     verify_array_checksums,
     verify_stamp,
 )
+from repro.serving.npz_mmap import CompressedMemberError, mmap_npz
 
 PathLike = Union[str, Path]
 
 ARTIFACT_FORMAT = "repro-sspc-artifact"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
@@ -391,10 +405,11 @@ class ModelArtifact:
 
         Writes ``manifest.json`` (schema version + scalar metadata +
         per-array checksums) and ``arrays.npz`` (every array at full
-        precision).  The directory is staged and renamed into place as
-        a unit with the manifest last, so a kill mid-save leaves either
-        the previous artifact or the new one — never a torn mix.
-        Returns the directory path.
+        precision, *uncompressed* so it can be memory-mapped by
+        :func:`load_artifact` with ``mmap_mode``).  The directory is
+        staged and renamed into place as a unit with the manifest last,
+        so a kill mid-save leaves either the previous artifact or the
+        new one — never a torn mix.  Returns the directory path.
         """
         directory = Path(path)
 
@@ -436,14 +451,16 @@ class ModelArtifact:
         }
 
         buffer = io.BytesIO()
-        np.savez_compressed(buffer, **arrays)
+        # Uncompressed on purpose: stored zip members are contiguous byte
+        # ranges, which is what makes the mmap load path possible.
+        np.savez(buffer, **arrays)
         with atomic_write_dir(directory) as staging:
             atomic_write_bytes(staging / ARRAYS_NAME, buffer.getvalue())
             atomic_write_json(staging / MANIFEST_NAME, manifest)  # manifest commits last
         return directory
 
     @classmethod
-    def load(cls, path: PathLike) -> "ModelArtifact":
+    def load(cls, path: PathLike, *, mmap_mode: Optional[str] = None) -> "ModelArtifact":
         """Load an artifact saved by :meth:`save` (see :func:`load_artifact`)."""
         directory = Path(path)
         manifest_path = directory / MANIFEST_NAME
@@ -481,14 +498,25 @@ class ModelArtifact:
         if not arrays_path.is_file():
             raise FileNotFoundError("artifact arrays file %s is missing" % arrays_path)
         try:
-            with np.load(arrays_path) as bundle:
-                arrays = {key: bundle[key] for key in bundle.files}
+            if mmap_mode is not None:
+                arrays = mmap_npz(arrays_path, mode=mmap_mode)
+            else:
+                with np.load(arrays_path) as bundle:
+                    arrays = {key: bundle[key] for key in bundle.files}
+        except CompressedMemberError:
+            # A schema <= 2 (compressed) bundle cannot be mapped; the
+            # caller asked for mmap explicitly, so surface it instead of
+            # silently loading a private copy per process.
+            raise
         except (OSError, ValueError, EOFError, KeyError, zipfile.BadZipFile, zlib.error) as exc:
             raise IntegrityError(
                 "artifact arrays %s are unreadable (%s): the file is corrupt "
                 "or truncated" % (arrays_path, exc),
                 path=arrays_path,
             ) from exc
+        # On the mmap path this walks the mapped views — pages are read
+        # (and dropped back to the cache), never duplicated — so both
+        # load paths enforce the identical integrity contract.
         verify_array_checksums(
             arrays, manifest.get("array_checksums") or {}, path=arrays_path
         )
@@ -553,11 +581,27 @@ def _jsonable(mapping: Dict[str, object]) -> Dict[str, object]:
     return plain
 
 
-def load_artifact(path: PathLike) -> ModelArtifact:
+def load_artifact(path: PathLike, *, mmap_mode: Optional[str] = None) -> ModelArtifact:
     """Load a :class:`ModelArtifact` from ``path``.
 
     Validates the manifest format and schema version before touching the
     arrays; loading an artifact written by a *newer* library version
     raises instead of guessing.
+
+    Parameters
+    ----------
+    path:
+        The artifact directory written by :meth:`ModelArtifact.save`.
+    mmap_mode:
+        ``None`` (default) reads every array into fresh allocations.
+        ``"r"`` memory-maps the arrays read-only straight out of the NPZ
+        — processes mapping the same artifact share one set of physical
+        pages, which is how the serving daemon's workers hold one model
+        between them.  ``"c"`` maps copy-on-write: reads are shared,
+        writes stay private to the calling process.  Mapping requires an
+        uncompressed (schema >= 3) bundle; older compressed artifacts
+        raise :class:`~repro.serving.npz_mmap.CompressedMemberError`
+        (load them eagerly or re-save them once).  Array checksums are
+        verified on every path.
     """
-    return ModelArtifact.load(path)
+    return ModelArtifact.load(path, mmap_mode=mmap_mode)

@@ -153,6 +153,19 @@ class ProjectedClusterIndex:
         from rows), so the maintained median becomes a sliding-window
         median — the bounded-memory mode the streaming engine runs in.
         ``None`` (default) keeps the exact full-history behaviour.
+    copy_arrays:
+        ``True`` (default) snapshots every artifact array into private
+        allocations — the index owns its state outright.  ``False``
+        *aliases* the artifact's member-projection buffers instead of
+        copying them, which is what makes an index over a memory-mapped
+        artifact (``load_artifact(..., mmap_mode="r")``) nearly free:
+        the projections are the artifact's dominant payload and stay
+        shared pages.  Safe because the index never writes into a
+        projection buffer in place — every mutation
+        (:meth:`partial_update`, :meth:`trim_projections`, ...)
+        *replaces* the buffer with a freshly built array, at which point
+        the cluster silently stops referencing the mapped pages.  The
+        small per-cluster statistic vectors are always copied.
 
     Notes
     -----
@@ -170,6 +183,7 @@ class ProjectedClusterIndex:
         center: str = "median",
         allow_outliers: Optional[bool] = None,
         projection_window: Optional[int] = None,
+        copy_arrays: bool = True,
     ) -> None:
         if center not in _CENTER_MODES:
             raise ValueError("center must be one of %s" % (_CENTER_MODES,))
@@ -207,7 +221,9 @@ class ProjectedClusterIndex:
                 center_selected = cluster.representative[dims].copy()
             projections = None
             if cluster.member_projections is not None:
-                projections = np.asarray(cluster.member_projections, dtype=float).copy()
+                projections = np.asarray(cluster.member_projections, dtype=float)
+                if copy_arrays:
+                    projections = projections.copy()
             self._clusters.append(
                 _ServingCluster(
                     dimensions=dims,
@@ -238,9 +254,21 @@ class ProjectedClusterIndex:
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_path(cls, path, *, center: str = "median") -> "ProjectedClusterIndex":
-        """Load an artifact directory and build an index over it."""
-        return cls(load_artifact(path), center=center)
+    def from_path(
+        cls, path, *, center: str = "median", mmap_mode: Optional[str] = None
+    ) -> "ProjectedClusterIndex":
+        """Load an artifact directory and build an index over it.
+
+        With ``mmap_mode`` the arrays are memory-mapped (see
+        :func:`~repro.serving.artifact.load_artifact`) and the index
+        aliases the projection buffers instead of copying them — the
+        zero-copy load path the serving daemon's workers use.
+        """
+        return cls(
+            load_artifact(path, mmap_mode=mmap_mode),
+            center=center,
+            copy_arrays=mmap_mode is None,
+        )
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,0 +1,156 @@
+"""Memory-mapped access to the arrays of an *uncompressed* NPZ bundle.
+
+``numpy.load`` silently ignores ``mmap_mode`` for ``.npz`` files: the
+zip container is always decompressed member by member into fresh
+allocations.  That is exactly wrong for a serving fleet — N worker
+processes each paying a private copy of the same read-only model.  This
+module maps the members in place instead.
+
+An NPZ written by :func:`numpy.savez` (*not* ``savez_compressed``)
+stores every member with the ``ZIP_STORED`` method, so each embedded
+``.npy`` payload is a contiguous byte range of the archive file.  For
+each member we
+
+1. read the zip *local* file header to find where the member's bytes
+   start (the central directory's ``header_offset`` plus the local
+   header, whose name/extra lengths can differ from the central ones),
+2. parse the ``.npy`` header inside the member (magic, version, dtype,
+   shape, order) with :mod:`numpy.lib.format`, and
+3. hand the absolute data offset to :class:`numpy.memmap`.
+
+The result: every worker process that maps the same artifact shares one
+set of physical pages through the page cache — loading is O(metadata)
+and the model costs its footprint *once* per machine, not once per
+worker.  ``mode="r"`` returns read-only views; ``mode="c"``
+(copy-on-write) returns writable views whose modified pages are private
+to the process, which is what lets an index build mutable assignment
+plans over a shared artifact without a bulk copy.
+
+Zip CRCs are *not* checked on this path (they would force a full read);
+callers that need integrity run the artifact's SHA-256 array checksums
+over the mapped views instead, which is both stronger and explicit.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+PathLike = Union[str, Path]
+
+__all__ = ["MMAP_MODES", "CompressedMemberError", "mmap_npz"]
+
+#: Supported :func:`mmap_npz` modes — read-only and copy-on-write.
+MMAP_MODES = ("r", "c")
+
+#: Fixed size of a zip local file header (before name + extra field).
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_MAGIC = b"PK\x03\x04"
+
+
+class CompressedMemberError(ValueError):
+    """Raised when an NPZ member is deflated and therefore not mappable.
+
+    Artifacts written by schema >= 3 store members uncompressed; older
+    (``savez_compressed``) bundles must be loaded eagerly — the caller
+    decides whether to fall back or to re-save the artifact.
+    """
+
+    def __init__(self, path: PathLike, member: str) -> None:
+        super().__init__(
+            "NPZ member %r in %s is compressed and cannot be memory-mapped; "
+            "re-save the artifact with the current library (uncompressed NPZ) "
+            "or load it eagerly" % (member, path)
+        )
+        self.path = Path(path)
+        self.member = member
+
+
+def _member_data_offset(handle, header_offset: int, path: Path, member: str) -> int:
+    """Absolute offset of a stored member's first payload byte.
+
+    The central directory records where the member's *local header*
+    starts; the payload follows the local header's fixed part plus its
+    own (possibly different) file-name and extra-field lengths.
+    """
+    handle.seek(header_offset)
+    local_header = handle.read(_LOCAL_HEADER_SIZE)
+    if len(local_header) != _LOCAL_HEADER_SIZE or local_header[:4] != _LOCAL_HEADER_MAGIC:
+        raise ValueError(
+            "NPZ member %r in %s has a corrupt local header" % (member, path)
+        )
+    name_length, extra_length = struct.unpack("<HH", local_header[26:30])
+    return header_offset + _LOCAL_HEADER_SIZE + name_length + extra_length
+
+
+def _read_npy_header(handle, path: Path, member: str):
+    """Parse a ``.npy`` header at the current position; returns (shape, fortran, dtype)."""
+    version = npy_format.read_magic(handle)
+    if version == (1, 0):
+        return npy_format.read_array_header_1_0(handle)
+    if version == (2, 0):
+        return npy_format.read_array_header_2_0(handle)
+    raise ValueError(
+        "NPZ member %r in %s uses unsupported .npy format version %s"
+        % (member, path, (version,))
+    )
+
+
+def mmap_npz(path: PathLike, *, mode: str = "r") -> Dict[str, np.ndarray]:
+    """Map every array of an uncompressed NPZ without reading the data.
+
+    Parameters
+    ----------
+    path:
+        An ``.npz`` file whose members are stored (``numpy.savez``).
+    mode:
+        ``"r"`` — read-only shared views (attempted writes raise);
+        ``"c"`` — copy-on-write views (writes stay private to this
+        process and never touch the file).
+
+    Returns a dict keyed like ``numpy.load``'s ``NpzFile`` (member names
+    without the ``.npy`` suffix).  Zero-size arrays are returned as
+    ordinary empty arrays — there are no bytes to share.
+
+    Raises
+    ------
+    CompressedMemberError
+        If any member was deflated (``savez_compressed`` bundle).
+    """
+    if mode not in MMAP_MODES:
+        raise ValueError("mode must be one of %s, got %r" % (MMAP_MODES, mode))
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        members = archive.infolist()
+        with open(path, "rb") as handle:
+            for info in members:
+                name = info.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise CompressedMemberError(path, name)
+                data_offset = _member_data_offset(handle, info.header_offset, path, name)
+                handle.seek(data_offset)
+                shape, fortran_order, dtype = _read_npy_header(handle, path, name)
+                array_offset = handle.tell()
+                if int(np.prod(shape)) == 0:
+                    array = np.empty(shape, dtype=dtype)
+                    if mode == "r":
+                        array.setflags(write=False)
+                    arrays[key] = array
+                    continue
+                mapped = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode=mode,
+                    offset=array_offset,
+                    shape=shape,
+                    order="F" if fortran_order else "C",
+                )
+                arrays[key] = mapped
+    return arrays

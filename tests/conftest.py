@@ -72,6 +72,14 @@ def fitted_sspc(small_dataset):
     return SSPC(n_clusters=3, m=0.5, random_state=0).fit(small_dataset.data)
 
 
+@pytest.fixture(scope="session")
+def artifact_on_disk(fitted_sspc, tmp_path_factory):
+    """The fitted model saved as an artifact directory (for daemon tests)."""
+    path = tmp_path_factory.mktemp("server-artifact") / "model"
+    fitted_sspc.to_artifact().save(path)
+    return path
+
+
 @pytest.fixture()
 def objective_small(small_dataset):
     """An ObjectiveFunction fitted on the small dataset with m = 0.5."""

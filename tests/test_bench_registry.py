@@ -35,6 +35,7 @@ class TestCompleteness:
             "knowledge",
             "perf",
             "robustness",
+            "serving_load",
             "stream",
         ]
 

@@ -1,0 +1,326 @@
+"""End-to-end tests of PredictServer over real HTTP connections."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving.artifact import load_artifact
+from repro.serving.index import ProjectedClusterIndex
+from repro.server.app import PredictServer, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def query_points():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(20, 40))
+
+
+@contextlib.asynccontextmanager
+async def running_server(artifact_path, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    server = PredictServer(artifact_path, ServerConfig(**config_kwargs))
+    host, port = await server.start()
+    try:
+        yield server, host, port
+    finally:
+        await server.stop()
+
+
+async def request_on(reader, writer, method, path, payload=None):
+    """One HTTP round trip on an already-open connection."""
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = "%s %s HTTP/1.1\r\nHost: test\r\n" % (method, path)
+    if body:
+        head += "Content-Type: application/json\r\nContent-Length: %d\r\n" % len(body)
+    writer.write(head.encode() + b"\r\n" + body)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    raw = await reader.readexactly(int(headers["content-length"]))
+    return status, json.loads(raw)
+
+
+async def request(host, port, method, path, payload=None):
+    """One HTTP round trip on a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await request_on(reader, writer, method, path, payload)
+    finally:
+        writer.close()
+        with contextlib.suppress(ConnectionError):
+            await writer.wait_closed()
+
+
+def test_healthz_reports_shape(artifact_on_disk):
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            return await request(host, port, "GET", "/healthz")
+
+    status, body = asyncio.run(drive())
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["generation"] == 0
+    assert body["n_dimensions"] == 40
+    assert body["uptime_s"] >= 0.0
+
+
+def test_predict_single_and_batch_bit_identical(artifact_on_disk, query_points):
+    reference = ProjectedClusterIndex(load_artifact(artifact_on_disk)).predict(
+        query_points
+    )
+
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            singles = []
+            for row in query_points:
+                status, body = await request(
+                    host, port, "POST", "/predict", {"point": list(row)}
+                )
+                assert status == 200
+                singles.append(body["label"])
+            status, body = await request(
+                host, port, "POST", "/predict", {"points": query_points.tolist()}
+            )
+            assert status == 200
+            return singles, body["labels"]
+
+    singles, batch = asyncio.run(drive())
+    np.testing.assert_array_equal(np.array(singles), reference)
+    np.testing.assert_array_equal(np.array(batch), reference)
+
+
+def test_predict_soft_single_and_batch(artifact_on_disk, query_points):
+    index = ProjectedClusterIndex(load_artifact(artifact_on_disk))
+    labels, clusters, gains = index.top_assignments(query_points, 2)
+
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            status, batch = await request(
+                host,
+                port,
+                "POST",
+                "/predict_soft",
+                {"points": query_points.tolist(), "top_m": 2},
+            )
+            assert status == 200
+            status, single = await request(
+                host,
+                port,
+                "POST",
+                "/predict_soft",
+                {"point": list(query_points[0]), "top_m": 2},
+            )
+            assert status == 200
+            return batch, single
+
+    batch, single = asyncio.run(drive())
+    np.testing.assert_array_equal(np.array(batch["labels"]), labels)
+    np.testing.assert_array_equal(np.array(batch["clusters"]), clusters)
+    np.testing.assert_allclose(np.array(batch["gains"]), gains)
+    assert single["label"] == int(labels[0])
+    assert "labels" not in single
+    assert len(single["clusters"]) == 2
+
+
+def test_concurrent_singles_coalesce(artifact_on_disk, query_points):
+    reference = ProjectedClusterIndex(load_artifact(artifact_on_disk)).predict(
+        query_points
+    )
+
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            results = await asyncio.gather(
+                *(
+                    request(host, port, "POST", "/predict", {"point": list(row)})
+                    for row in query_points
+                )
+            )
+            return results, server.batcher.stats.snapshot()
+
+    results, stats = asyncio.run(drive())
+    labels = np.array([body["label"] for _, body in results])
+    np.testing.assert_array_equal(labels, reference)
+    # 20 concurrent singles must NOT mean 20 kernel calls.
+    assert stats["n_flushes"] < query_points.shape[0]
+    assert stats["max_batch_size"] >= 2
+
+
+def test_error_routes(artifact_on_disk):
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            missing = await request(host, port, "GET", "/nope")
+            wrong_method = await request(host, port, "GET", "/predict")
+            bad_body = await request(host, port, "POST", "/predict", {"nope": 1})
+            both_keys = await request(
+                host, port, "POST", "/predict", {"point": [0.0], "points": [[0.0]]}
+            )
+            wrong_dims = await request(
+                host, port, "POST", "/predict", {"point": [1.0, 2.0]}
+            )
+            return missing, wrong_method, bad_body, both_keys, wrong_dims
+
+    missing, wrong_method, bad_body, both_keys, wrong_dims = asyncio.run(drive())
+    assert missing[0] == 404
+    assert wrong_method[0] == 405
+    assert bad_body[0] == 400
+    assert both_keys[0] == 400
+    assert wrong_dims[0] == 400
+    assert "40" in wrong_dims[1]["error"]
+
+
+def test_metrics_counts_requests_and_errors(artifact_on_disk, query_points):
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            await request(
+                host, port, "POST", "/predict", {"point": list(query_points[0])}
+            )
+            await request(host, port, "GET", "/nope")
+            return await request(host, port, "GET", "/metrics")
+
+    status, body = asyncio.run(drive())
+    assert status == 200
+    assert body["requests"]["POST /predict"] == 1
+    assert body["errors"]["404"] == 1
+    assert body["batcher"]["n_submitted"] == 1
+    assert body["generation"] == 0
+    assert body["batcher_depth"] == 0
+
+
+def test_partial_update_bumps_generation_and_persists(
+    artifact_on_disk, query_points, tmp_path
+):
+    reference = ProjectedClusterIndex(load_artifact(artifact_on_disk))
+    expected_applied = reference.partial_update(query_points)
+    expected_post = reference.predict(query_points)
+    state_dir = tmp_path / "state"
+
+    async def drive():
+        async with running_server(
+            artifact_on_disk, state_dir=str(state_dir)
+        ) as (server, host, port):
+            status, update = await request(
+                host,
+                port,
+                "POST",
+                "/partial_update",
+                {"points": query_points.tolist()},
+            )
+            assert status == 200
+            status, predict = await request(
+                host, port, "POST", "/predict", {"points": query_points.tolist()}
+            )
+            assert status == 200
+            return update, predict
+
+    update, predict = asyncio.run(drive())
+    assert update["generation"] == 1
+    np.testing.assert_array_equal(np.array(update["applied_labels"]), expected_applied)
+    # Predictions after the fold come from the folded state.
+    np.testing.assert_array_equal(np.array(predict["labels"]), expected_post)
+    assert predict["generation"] == 1
+    # The generation is durable: dir on disk, CURRENT pointer flipped.
+    assert (state_dir / "CURRENT").read_text() == "gen-000001"
+    folded = ProjectedClusterIndex(load_artifact(state_dir / "gen-000001"))
+    np.testing.assert_array_equal(folded.predict(query_points), expected_post)
+
+
+def test_partial_update_label_length_mismatch_is_400(artifact_on_disk, query_points):
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            return await request(
+                host,
+                port,
+                "POST",
+                "/partial_update",
+                {"points": query_points.tolist(), "labels": [0]},
+            )
+
+    status, body = asyncio.run(drive())
+    assert status == 400
+    assert "labels" in body["error"]
+
+
+def test_keep_alive_serves_many_requests_per_connection(
+    artifact_on_disk, query_points
+):
+    async def drive():
+        async with running_server(artifact_on_disk) as (server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                statuses = []
+                for row in query_points[:5]:
+                    status, body = await request_on(
+                        reader, writer, "POST", "/predict", {"point": list(row)}
+                    )
+                    statuses.append(status)
+                return statuses
+            finally:
+                writer.close()
+                with contextlib.suppress(ConnectionError):
+                    await writer.wait_closed()
+
+    assert asyncio.run(drive()) == [200] * 5
+
+
+def test_worker_pool_end_to_end(artifact_on_disk, query_points, tmp_path):
+    reference = ProjectedClusterIndex(load_artifact(artifact_on_disk))
+    expected_labels = reference.predict(query_points)
+    expected_applied = reference.partial_update(query_points)
+    expected_post = reference.predict(query_points)
+
+    async def drive():
+        async with running_server(
+            artifact_on_disk, workers=2, state_dir=str(tmp_path / "state")
+        ) as (server, host, port):
+            status, health = await request(host, port, "GET", "/healthz")
+            assert status == 200
+            assert health["alive_workers"] == 2
+            results = await asyncio.gather(
+                *(
+                    request(host, port, "POST", "/predict", {"point": list(row)})
+                    for row in query_points
+                )
+            )
+            labels = [body["label"] for _, body in results]
+            status, update = await request(
+                host,
+                port,
+                "POST",
+                "/partial_update",
+                {"points": query_points.tolist()},
+            )
+            assert status == 200
+            # After the owner folds and replicas reload, every worker
+            # serves the folded state — hammer both via the batch path.
+            post = [
+                (
+                    await request(
+                        host,
+                        port,
+                        "POST",
+                        "/predict",
+                        {"points": query_points.tolist()},
+                    )
+                )[1]["labels"]
+                for _ in range(4)
+            ]
+            return labels, update, post
+
+    labels, update, post = asyncio.run(drive())
+    np.testing.assert_array_equal(np.array(labels), expected_labels)
+    np.testing.assert_array_equal(np.array(update["applied_labels"]), expected_applied)
+    assert update["generation"] == 1
+    for batch in post:
+        np.testing.assert_array_equal(np.array(batch), expected_post)

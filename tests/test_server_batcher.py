@@ -1,0 +1,197 @@
+"""The micro-batcher: flush policy, self-clocking, error propagation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.server.batcher import FLUSH_REASONS, BatcherStats, MicroBatcher
+
+
+class RecordingFlush:
+    """A flush_fn that records every batch it receives."""
+
+    def __init__(self, gate: "asyncio.Event | None" = None):
+        self.batches = []
+        self.gate = gate
+
+    async def __call__(self, points: np.ndarray):
+        self.batches.append(np.array(points))
+        if self.gate is not None:
+            await self.gate.wait()
+        # Echo each row's first coordinate as its "label".
+        return [float(row[0]) for row in points]
+
+
+def test_rejects_bad_parameters():
+    flush = RecordingFlush()
+    with pytest.raises(ValueError):
+        MicroBatcher(flush, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(flush, max_wait_us=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(flush, max_concurrency=0)
+
+
+def test_single_submit_flushes_on_quiesce_without_timer():
+    flush = RecordingFlush()
+    # A wait long enough that hitting the deadline would hang the test:
+    # the quiesce check must fire long before it.
+    batcher = MicroBatcher(flush, max_batch=64, max_wait_us=30_000_000.0)
+
+    async def drive():
+        return await asyncio.wait_for(
+            batcher.submit(np.array([7.0, 0.0])), timeout=5.0
+        )
+
+    assert asyncio.run(drive()) == 7.0
+    assert batcher.stats.flush_reasons["quiesce"] == 1
+    assert [batch.shape for batch in flush.batches] == [(1, 2)]
+
+
+def test_concurrent_submits_coalesce_into_one_flush():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_wait_us=50_000.0)
+
+    async def drive():
+        return await asyncio.gather(
+            *(batcher.submit(np.array([float(i), 0.0])) for i in range(10))
+        )
+
+    results = asyncio.run(drive())
+    assert results == [float(i) for i in range(10)]
+    assert len(flush.batches) == 1
+    assert flush.batches[0].shape == (10, 2)
+    assert batcher.stats.n_submitted == 10
+    assert batcher.stats.n_flushes == 1
+
+
+def test_full_batch_flushes_immediately():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=4, max_wait_us=30_000_000.0)
+
+    async def drive():
+        return await asyncio.gather(
+            *(batcher.submit(np.array([float(i)])) for i in range(8))
+        )
+
+    results = asyncio.run(drive())
+    assert results == [float(i) for i in range(8)]
+    assert batcher.stats.flush_reasons["full"] >= 1
+    assert all(batch.shape[0] <= 4 for batch in flush.batches)
+
+
+def test_busy_gate_chains_stragglers_into_one_batch():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_wait_us=50_000.0)
+
+    async def drive():
+        release = asyncio.Event()
+        flush.gate = release
+        first = asyncio.ensure_future(batcher.submit(np.array([0.0])))
+        # Let the first submission flush (its flush_fn now blocks on the
+        # gate), then pile stragglers up behind the busy kernel.
+        while not flush.batches:
+            await asyncio.sleep(0.001)
+        stragglers = [
+            asyncio.ensure_future(batcher.submit(np.array([float(i)])))
+            for i in range(1, 6)
+        ]
+        await asyncio.sleep(0.01)  # past max_wait: the gate must hold them
+        assert batcher.depth == 5, "busy gate should hold pending submissions"
+        release.set()
+        return await asyncio.gather(first, *stragglers)
+
+    results = asyncio.run(drive())
+    assert results == [float(i) for i in range(6)]
+    # One singleton flush, then every straggler in a single chained batch.
+    assert [batch.shape[0] for batch in flush.batches] == [1, 5]
+    assert batcher.stats.flush_reasons["chained"] == 1
+
+
+def test_non_adaptive_waits_for_the_deadline():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_wait_us=20_000.0, adaptive=False)
+
+    async def drive():
+        task = asyncio.ensure_future(batcher.submit(np.array([1.0])))
+        await asyncio.sleep(0.005)
+        assert not task.done(), "fixed-wait batcher must hold until the deadline"
+        return await asyncio.wait_for(task, timeout=5.0)
+
+    assert asyncio.run(drive()) == 1.0
+    assert batcher.stats.flush_reasons["timeout"] == 1
+    assert batcher.stats.flush_reasons["quiesce"] == 0
+
+
+def test_flush_error_propagates_to_every_waiter():
+    async def failing(points):
+        raise RuntimeError("kernel exploded")
+
+    batcher = MicroBatcher(failing, max_batch=64, max_wait_us=10_000.0)
+
+    async def drive():
+        results = await asyncio.gather(
+            *(batcher.submit(np.array([float(i)])) for i in range(3)),
+            return_exceptions=True,
+        )
+        return results
+
+    results = asyncio.run(drive())
+    assert len(results) == 3
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_result_count_mismatch_is_an_error():
+    async def short(points):
+        return [0.0]  # always one result, regardless of batch size
+
+    batcher = MicroBatcher(short, max_batch=64, max_wait_us=10_000.0)
+
+    async def drive():
+        return await asyncio.gather(
+            batcher.submit(np.array([1.0])),
+            batcher.submit(np.array([2.0])),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(drive())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_drain_flushes_pending_and_closes():
+    flush = RecordingFlush()
+    batcher = MicroBatcher(flush, max_batch=64, max_wait_us=30_000_000.0, adaptive=False)
+
+    async def drive():
+        task = asyncio.ensure_future(batcher.submit(np.array([5.0])))
+        await asyncio.sleep(0)  # let submit enqueue
+        await batcher.drain()
+        result = await task
+        with pytest.raises(RuntimeError):
+            await batcher.submit(np.array([6.0]))
+        return result
+
+    assert asyncio.run(drive()) == 5.0
+    assert batcher.stats.flush_reasons["drain"] == 1
+
+
+def test_stats_snapshot_shape():
+    stats = BatcherStats()
+    stats.record_flush("quiesce", 4, [100.0, 200.0, 300.0, 400.0])
+    stats.record_flush("full", 8, [50.0] * 8)
+    snapshot = stats.snapshot()
+    assert snapshot["n_flushes"] == 2
+    assert set(snapshot["flush_reasons"]) >= set(FLUSH_REASONS)
+    assert snapshot["mean_batch_size"] == pytest.approx(6.0)
+    assert snapshot["max_batch_size"] == 8
+    assert snapshot["p99_queue_wait_us"] >= snapshot["p50_queue_wait_us"]
+
+
+def test_stats_window_is_bounded():
+    stats = BatcherStats()
+    for _ in range(5000):
+        stats.record_flush("quiesce", 1, [10.0])
+    assert len(stats.batch_sizes) <= stats._window
+    assert len(stats.queue_wait_us) <= stats._window
+    assert stats.n_flushes == 5000

@@ -1,0 +1,166 @@
+"""The hand-rolled HTTP/1.1 layer: parsing, rendering, error mapping."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HTTPError,
+    HTTPRequest,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, *, max_body_bytes: int = 1024 * 1024):
+    async def drive():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes=max_body_bytes)
+
+    return asyncio.run(drive())
+
+
+class TestReadRequest:
+    def test_post_with_body(self):
+        body = b'{"point": [1.0, 2.0]}'
+        raw = (
+            b"POST /predict?debug=1 HTTP/1.1\r\n"
+            b"Host: unit\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body) + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/predict"
+        assert request.query == "debug=1"
+        assert request.headers["host"] == "unit"
+        assert request.body == body
+        assert request.keep_alive is True
+        assert request.json() == {"point": [1.0, 2.0]}
+
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: unit\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+        with pytest.raises(HTTPError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_connection_close_clears_keep_alive(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"GET /healthz HTTP/1.1\r\nHost: unit")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_http2_is_rejected(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(
+                b"POST /predict HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body_bytes=10,
+            )
+        assert excinfo.value.status == 413
+
+    def test_negative_content_length_is_400(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /predict HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_chunked_body_is_rejected(self):
+        with pytest.raises(HTTPError) as excinfo:
+            parse(b"POST /predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body_maps_to_400(self):
+        request = parse(
+            b"POST /predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        )
+        with pytest.raises(HTTPError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_two_requests_on_one_connection(self):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\n\r\n"
+            b"GET /metrics HTTP/1.1\r\n\r\n"
+        )
+
+        async def drive():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            first = await read_request(reader, max_body_bytes=1024)
+            second = await read_request(reader, max_body_bytes=1024)
+            third = await read_request(reader, max_body_bytes=1024)
+            return first, second, third
+
+        first, second, third = asyncio.run(drive())
+        assert first.path == "/healthz"
+        assert second.path == "/metrics"
+        assert third is None
+
+
+class TestRenderResponse:
+    def _parse_head(self, rendered: bytes):
+        head, _, body = rendered.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return lines[0], headers, body
+
+    def test_fast_path_matches_generic_shape(self):
+        body = b'{"label":3}'
+        fast = render_response(200, body)
+        status_line, headers, rendered_body = self._parse_head(fast)
+        assert status_line == b"HTTP/1.1 200 OK"
+        assert headers["content-type"] == "application/json"
+        assert headers["content-length"] == str(len(body))
+        assert headers["connection"] == "keep-alive"
+        assert rendered_body == body
+
+    def test_non_200_uses_phrase_table(self):
+        status_line, headers, _ = self._parse_head(
+            render_response(404, b"{}", keep_alive=False)
+        )
+        assert status_line == b"HTTP/1.1 404 Not Found"
+        assert headers["connection"] == "close"
+
+    def test_extra_headers_are_appended(self):
+        _, headers, _ = self._parse_head(
+            render_response(200, b"{}", extra_headers=(("X-Generation", "7"),))
+        )
+        assert headers["x-generation"] == "7"
+
+    def test_json_response_round_trips(self):
+        rendered = json_response({"labels": [1, -1], "ok": True})
+        _, _, body = rendered.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"labels": [1, -1], "ok": True}
+
+    def test_json_response_emits_nonfinite_tokens(self):
+        rendered = json_response({"gain": float("-inf")})
+        _, _, body = rendered.partition(b"\r\n\r\n")
+        assert b"-Infinity" in body
+
+    def test_keep_alive_flag_in_dataclass_default(self):
+        assert HTTPRequest(method="GET", path="/", query="").keep_alive is True

@@ -1,0 +1,222 @@
+"""Compute backends: in-process, worker pool, ownership and failure paths."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving.artifact import load_artifact
+from repro.serving.index import ProjectedClusterIndex
+from repro.server.pool import (
+    BackendError,
+    InProcessBackend,
+    WorkerPoolBackend,
+    build_serving_index,
+    make_backend,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    from repro.core.sspc import SSPC
+    from repro.data.generator import make_projected_clusters
+
+    dataset = make_projected_clusters(
+        n_objects=240,
+        n_dimensions=40,
+        n_clusters=3,
+        avg_cluster_dimensionality=6,
+        random_state=1234,
+    )
+    model = SSPC(n_clusters=3, m=0.5, random_state=0).fit(dataset.data)
+    path = tmp_path_factory.mktemp("pool") / "model"
+    model.to_artifact().save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def query_points():
+    rng = np.random.default_rng(77)
+    return rng.normal(size=(25, 40))
+
+
+@pytest.fixture(scope="module")
+def reference_labels(artifact_dir, query_points):
+    return ProjectedClusterIndex(load_artifact(artifact_dir)).predict(query_points)
+
+
+class TestBuildServingIndex:
+    def test_mmap_path_is_bit_identical_to_eager(self, artifact_dir, query_points):
+        eager = build_serving_index(artifact_dir, mmap_mode=None)
+        mapped = build_serving_index(artifact_dir, mmap_mode="r")
+        np.testing.assert_array_equal(
+            mapped.predict(query_points), eager.predict(query_points)
+        )
+        np.testing.assert_array_equal(
+            mapped.gains_matrix(query_points), eager.gains_matrix(query_points)
+        )
+
+
+class TestInProcessBackend:
+    def test_index_requires_start(self, artifact_dir):
+        backend = InProcessBackend(artifact_dir)
+        with pytest.raises(BackendError):
+            backend.index
+        assert backend.alive_workers == 0
+
+    def test_lifecycle_and_bit_identity(
+        self, artifact_dir, query_points, reference_labels
+    ):
+        async def drive():
+            backend = InProcessBackend(artifact_dir)
+            await backend.start()
+            try:
+                assert backend.alive_workers == 1
+                assert backend.parallelism == 1
+                assert backend.describe()["workers"] == 0
+                labels = await backend.predict(query_points)
+                soft_labels, clusters, gains = await backend.predict_soft(
+                    query_points, 2
+                )
+                return labels, soft_labels, clusters, gains
+            finally:
+                await backend.stop()
+
+        labels, soft_labels, clusters, gains = asyncio.run(drive())
+        np.testing.assert_array_equal(labels, reference_labels)
+        np.testing.assert_array_equal(soft_labels, reference_labels)
+        assert clusters.shape == (query_points.shape[0], 2)
+        assert gains.shape == (query_points.shape[0], 2)
+
+    def test_partial_update_persists_a_generation(
+        self, artifact_dir, query_points, tmp_path
+    ):
+        reference = ProjectedClusterIndex(load_artifact(artifact_dir))
+        expected_applied = reference.partial_update(query_points)
+        gen_dir = tmp_path / "gen-000000"
+
+        async def drive():
+            backend = InProcessBackend(artifact_dir)
+            await backend.start()
+            try:
+                return await backend.partial_update(
+                    query_points, None, str(gen_dir)
+                )
+            finally:
+                await backend.stop()
+
+        applied, absorbed = asyncio.run(drive())
+        np.testing.assert_array_equal(applied, expected_applied)
+        assert absorbed >= 0
+        # The persisted generation serves exactly what the folded index does.
+        folded = ProjectedClusterIndex(load_artifact(gen_dir))
+        np.testing.assert_array_equal(
+            folded.predict(query_points), reference.predict(query_points)
+        )
+
+
+class TestMakeBackend:
+    def test_zero_workers_is_in_process(self, artifact_dir):
+        assert isinstance(make_backend(artifact_dir, n_workers=0), InProcessBackend)
+
+    def test_positive_workers_is_a_pool(self, artifact_dir):
+        backend = make_backend(artifact_dir, n_workers=2)
+        assert isinstance(backend, WorkerPoolBackend)
+        assert backend.n_workers == 2
+
+    def test_pool_rejects_zero_workers(self, artifact_dir):
+        with pytest.raises(ValueError):
+            WorkerPoolBackend(artifact_dir, n_workers=0)
+
+
+class TestWorkerPoolBackend:
+    def test_predict_and_write_path(
+        self, artifact_dir, query_points, reference_labels, tmp_path
+    ):
+        gen_dir = tmp_path / "gen-000000"
+        reference = ProjectedClusterIndex(load_artifact(artifact_dir))
+        expected_applied = reference.partial_update(query_points)
+
+        async def drive():
+            backend = WorkerPoolBackend(artifact_dir, n_workers=2)
+            await backend.start()
+            try:
+                assert backend.alive_workers == 2
+                assert backend.parallelism == 2
+                # Several predicts so round-robin touches both workers.
+                batches = [await backend.predict(query_points) for _ in range(4)]
+                soft = await backend.predict_soft(query_points, 3)
+                applied, absorbed = await backend.partial_update(
+                    query_points, None, str(gen_dir)
+                )
+                await backend.reload_replicas(str(gen_dir))
+                post_reload = await backend.predict(query_points)
+                return batches, soft, applied, absorbed, post_reload
+            finally:
+                await backend.stop()
+
+        batches, soft, applied, absorbed, post_reload = asyncio.run(drive())
+        for labels in batches:
+            np.testing.assert_array_equal(labels, reference_labels)
+        np.testing.assert_array_equal(soft[0], reference_labels)
+        np.testing.assert_array_equal(applied, expected_applied)
+        assert absorbed >= 0
+        # After fold + rebroadcast every worker serves the folded model.
+        np.testing.assert_array_equal(post_reload, reference.predict(query_points))
+        assert (gen_dir / "MANIFEST.json").exists() or gen_dir.exists()
+
+    def test_dead_owner_is_detected_and_routed_around(
+        self, artifact_dir, query_points, reference_labels
+    ):
+        async def drive():
+            backend = WorkerPoolBackend(artifact_dir, n_workers=2)
+            await backend.start()
+            try:
+                backend.owner.process.kill()
+                backend.owner.process.join(timeout=5.0)
+                # The first call routed to the dead owner poisons it...
+                with pytest.raises(BackendError):
+                    for _ in range(4):
+                        await backend.predict(query_points)
+                assert backend.owner.alive is False
+                assert backend.alive_workers == 1
+                assert backend.parallelism == 1
+                # ...after which routing skips it and reads still work...
+                labels = await backend.predict(query_points)
+                # ...but the write path is gone with the owner.
+                with pytest.raises(BackendError):
+                    await backend.partial_update(query_points, None, None)
+                return labels
+            finally:
+                await backend.stop()
+
+        np.testing.assert_array_equal(asyncio.run(drive()), reference_labels)
+
+    def test_all_workers_dead_raises(self, artifact_dir, query_points):
+        async def drive():
+            backend = WorkerPoolBackend(artifact_dir, n_workers=1)
+            await backend.start()
+            try:
+                for handle in backend._handles:
+                    handle.alive = False
+                with pytest.raises(BackendError, match="no live workers"):
+                    await backend.predict(query_points)
+            finally:
+                for handle in backend._handles:
+                    handle.alive = True
+                await backend.stop()
+
+        asyncio.run(drive())
+
+    def test_boot_failure_surfaces_as_backend_error(self, tmp_path):
+        async def drive():
+            backend = WorkerPoolBackend(tmp_path / "missing", n_workers=1)
+            try:
+                with pytest.raises(BackendError, match="failed to boot"):
+                    await backend.start()
+            finally:
+                await backend.stop()
+
+        asyncio.run(drive())

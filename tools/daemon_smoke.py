@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""CI smoke test: boot the real ``repro-server`` daemon and exercise it.
+
+End to end over an actual subprocess and actual sockets:
+
+1. fit a small model and save it as an artifact directory;
+2. boot ``python -m repro.server.cli`` on an ephemeral port and wait
+   for the ``READY host=... port=...`` banner;
+3. hit ``/healthz``, then ``/predict`` for every query point, and
+   assert the daemon's labels are bit-identical to an in-process
+   :class:`~repro.serving.index.ProjectedClusterIndex` over the same
+   artifact;
+4. SIGTERM the daemon and require a clean ``STOPPED`` exit within the
+   timeout.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/daemon_smoke.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.sspc import SSPC  # noqa: E402
+from repro.data.generator import make_projected_clusters  # noqa: E402
+from repro.serving.artifact import load_artifact  # noqa: E402
+from repro.serving.index import ProjectedClusterIndex  # noqa: E402
+
+BOOT_TIMEOUT_S = 60.0
+STOP_TIMEOUT_S = 30.0
+
+
+def build_artifact(directory: Path) -> Path:
+    dataset = make_projected_clusters(
+        n_objects=240,
+        n_dimensions=40,
+        n_clusters=3,
+        avg_cluster_dimensionality=6,
+        random_state=1234,
+    )
+    model = SSPC(n_clusters=3, m=0.5, random_state=0).fit(dataset.data)
+    path = directory / "model"
+    model.to_artifact().save(path)
+    return path
+
+
+def wait_ready(process: subprocess.Popen) -> tuple:
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                "daemon exited before READY:\n%s" % process.stderr.read()
+            )
+        sys.stdout.write(line)
+        if line.startswith("READY"):
+            fields = dict(part.split("=") for part in line.split()[1:])
+            return fields["host"], int(fields["port"])
+    raise SystemExit("daemon did not print READY within %.0fs" % BOOT_TIMEOUT_S)
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=15) as response:
+        return json.loads(response.read())
+
+
+def post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return json.loads(response.read())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--n-queries", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="daemon-smoke-") as scratch:
+        artifact = build_artifact(Path(scratch))
+        queries = np.random.default_rng(5).normal(size=(args.n_queries, 40))
+        expected = ProjectedClusterIndex(load_artifact(artifact)).predict(queries)
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server.cli",
+                str(artifact),
+                "--port",
+                "0",
+                "--workers",
+                str(args.workers),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    filter(None, (str(REPO_ROOT / "src"), os.environ.get("PYTHONPATH")))
+                ),
+            },
+        )
+        try:
+            host, port = wait_ready(process)
+            base = "http://%s:%d" % (host, port)
+
+            health = get_json(base + "/healthz")
+            assert health["status"] == "ok", health
+            assert health["generation"] == 0, health
+            print("healthz ok: %s" % health)
+
+            labels = [
+                post_json(base + "/predict", {"point": list(row)})["label"]
+                for row in queries
+            ]
+            mismatches = int(np.sum(np.array(labels) != expected))
+            assert mismatches == 0, (
+                "%d/%d daemon labels differ from the in-process index"
+                % (mismatches, len(labels))
+            )
+            print("predict ok: %d/%d labels bit-identical" % (len(labels), len(labels)))
+
+            batch = post_json(base + "/predict", {"points": queries.tolist()})
+            assert batch["labels"] == [int(label) for label in expected], (
+                "batch labels differ from the in-process index"
+            )
+            print("batch predict ok")
+
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=STOP_TIMEOUT_S)
+            sys.stdout.write(stdout)
+            assert "STOPPED" in stdout, "daemon never printed STOPPED:\n%s" % stderr
+            assert process.returncode == 0, (
+                "daemon exited %d:\n%s" % (process.returncode, stderr)
+            )
+            print("shutdown ok (exit 0)")
+            return 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
