@@ -2,8 +2,10 @@
 
 The workload is one deterministic tour through every instrumented
 subsystem — an SSPC fit, a block of streaming batches, a serve
-predict/partial-update pass and a (serial) executor job — fingerprinted
-by hashing every label array it produces.  Three claims are gated:
+predict/partial-update pass, a (serial) executor job and a
+fake-clock pass through the serving telemetry hot path — fingerprinted
+by hashing every label array (and telemetry export) it produces.
+Three claims are gated:
 
 * **disabled overhead < 2%** — with no recorder installed every hook is
   one module-global load plus an ``is None`` test.  Timing that
@@ -11,7 +13,10 @@ by hashing every label array it produces.  Three claims are gated:
   is an *upper bound*: the enabled run counts every hook crossing
   (``recorder.n_hook_calls``), a tight loop measures the worst-case
   per-call cost of a disabled hook, and their product over the
-  disabled workload's wall clock bounds the relative overhead.
+  disabled workload's wall clock bounds the relative overhead.  The
+  always-on serving telemetry is priced the same way: a probe loop
+  measures the per-request begin/finish cost and the bound charges
+  one record per telemetry-leg request.
 * **bit identity** — the fingerprint with a recorder installed equals
   the fingerprint without one: observability never perturbs results.
 * **subsystem coverage** — the enabled run's trace spans at least four
@@ -30,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import itertools
 import json
 import sys
 import time
@@ -39,6 +45,9 @@ import numpy as np
 from repro import obs
 from repro.core.sspc import SSPC
 from repro.data.generator import SyntheticDataGenerator
+from repro.obs.prom import PromWriter, write_telemetry
+from repro.obs.slo import SLOConfig
+from repro.obs.telemetry import Telemetry
 from repro.serving.index import ProjectedClusterIndex
 from repro.stream import StreamConfig, StreamingSSPC
 from repro.utils.executor import SerialExecutor
@@ -51,6 +60,9 @@ MIN_SUBSYSTEM_CATEGORIES = 4
 
 #: Calls used to measure the per-call cost of a disabled hook.
 PROBE_CALLS = 200_000
+
+#: Calls used to measure the per-request cost of serving telemetry.
+TELEMETRY_PROBE_CALLS = 20_000
 
 
 def _executor_leg(item: int) -> int:
@@ -102,6 +114,54 @@ def run_workload(args: argparse.Namespace) -> str:
 
     squares = SerialExecutor().map(_executor_leg, list(range(16)))
     digest.update(np.asarray(squares, dtype=np.int64).tobytes())
+
+    digest.update(run_telemetry_workload(args).encode("ascii"))
+    return digest.hexdigest()
+
+
+def run_telemetry_workload(args: argparse.Namespace) -> str:
+    """One deterministic tour through the serving-telemetry hot path.
+
+    A counter clock makes every duration, SLO window and burn rate
+    reproducible, so the aggregate snapshot and the Prometheus
+    rendering fold into the workload fingerprint: the always-on
+    telemetry must neither perturb nor be perturbed by a recorder
+    being installed.
+    """
+    ticks = itertools.count()
+    telemetry = Telemetry(
+        SLOConfig(latency_budget_ms=0.5),
+        clock=lambda: next(ticks) * 1e-4,
+        trace_prefix="bench",
+    )
+    statuses = (200, 200, 200, 200, 404, 200, 500, 200)
+    for i in range(args.telemetry_requests):
+        route = "predict" if i % 3 else "predict_soft"
+        trace = telemetry.begin_request("POST", route, telemetry.next_request_id())
+        if i % 5 == 0:
+            batch_id = i // 5 + 1
+            trace.link_batch(
+                {
+                    "batch_id": batch_id,
+                    "batch_size": 4,
+                    "flush_reason": "full",
+                    "queue_wait_us": 150.0,
+                    "kernel_s": 2e-4,
+                },
+                trace.start,
+            )
+            telemetry.observe_flush(batch_id, "full", 4, i * 1e-4, 2e-4)
+        telemetry.finish_request(trace, statuses[i % len(statuses)])
+
+    writer = PromWriter()
+    write_telemetry(writer, telemetry)
+    digest = hashlib.sha256()
+    digest.update(json.dumps(telemetry.snapshot(), sort_keys=True).encode("utf-8"))
+    digest.update(writer.render().encode("utf-8"))
+    # The assembled tail trace carries process ids, so only its shape
+    # (event count) joins the fingerprint.
+    n_events = len(telemetry.tail_trace()["traceEvents"])
+    digest.update(b"tail:%d" % n_events)
     return digest.hexdigest()
 
 
@@ -115,6 +175,16 @@ def measure_disabled_hook_seconds() -> float:
                 hook()
             per_call.append((time.perf_counter() - start) / PROBE_CALLS)
     return max(per_call)
+
+
+def measure_telemetry_record_seconds() -> float:
+    """Per-request cost of the always-on telemetry aggregation path."""
+    telemetry = Telemetry(trace_prefix="probe")
+    start = time.perf_counter()
+    for _ in range(TELEMETRY_PROBE_CALLS):
+        trace = telemetry.begin_request("POST", "predict", "probe")
+        telemetry.finish_request(trace, 200)
+    return (time.perf_counter() - start) / TELEMETRY_PROBE_CALLS
 
 
 def run_benchmark(args: argparse.Namespace) -> dict:
@@ -138,9 +208,14 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         categories = {span["cat"] for span in recorder.spans}
 
     per_hook_seconds = measure_disabled_hook_seconds()
-    # Upper bound: every hook the enabled run crossed, priced at the
-    # measured disabled per-call cost, relative to the real workload.
-    overhead_disabled_pct = 100.0 * n_hook_calls * per_hook_seconds / disabled_seconds
+    per_telemetry_seconds = measure_telemetry_record_seconds()
+    # Upper bound: every hook the enabled run crossed plus every
+    # always-on telemetry record, each priced at its measured per-call
+    # cost, relative to the real workload.
+    hook_seconds = n_hook_calls * per_hook_seconds
+    telemetry_seconds = args.telemetry_requests * per_telemetry_seconds
+    overhead_disabled_pct = 100.0 * (hook_seconds + telemetry_seconds) / disabled_seconds
+    telemetry_overhead_pct = 100.0 * telemetry_seconds / disabled_seconds
     overhead_enabled_pct = 100.0 * (enabled_seconds - disabled_seconds) / disabled_seconds
 
     return {
@@ -151,6 +226,7 @@ def run_benchmark(args: argparse.Namespace) -> dict:
             "fit_iterations": args.fit_iterations,
             "stream_batches": args.stream_batches,
             "batch_size": args.batch_size,
+            "telemetry_requests": args.telemetry_requests,
             "repeats": args.repeats,
             "seed": args.seed,
             "smoke": bool(args.smoke),
@@ -159,6 +235,9 @@ def run_benchmark(args: argparse.Namespace) -> dict:
         "enabled_seconds": enabled_seconds,
         "n_hook_calls": n_hook_calls,
         "per_hook_disabled_ns": per_hook_seconds * 1e9,
+        "n_telemetry_requests": args.telemetry_requests,
+        "per_telemetry_record_ns": per_telemetry_seconds * 1e9,
+        "telemetry_overhead_pct": telemetry_overhead_pct,
         "overhead_disabled_pct": overhead_disabled_pct,
         "overhead_enabled_pct": overhead_enabled_pct,
         "overhead_disabled_ok": overhead_disabled_pct < MAX_DISABLED_OVERHEAD_PCT,
@@ -178,6 +257,8 @@ def main(argv=None) -> int:
     parser.add_argument("--fit-iterations", type=int, default=8)
     parser.add_argument("--stream-batches", type=int, default=8)
     parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--telemetry-requests", type=int, default=400,
+                        help="requests driven through the serving telemetry leg")
     parser.add_argument("--repeats", type=int, default=3,
                         help="disabled-arm runs; the best is the denominator")
     parser.add_argument("--seed", type=int, default=23)
@@ -193,6 +274,7 @@ def main(argv=None) -> int:
         args.fit_iterations = min(args.fit_iterations, 4)
         args.stream_batches = min(args.stream_batches, 4)
         args.batch_size = min(args.batch_size, 100)
+        args.telemetry_requests = min(args.telemetry_requests, 200)
 
     report = run_benchmark(args)
     if args.output:
@@ -207,7 +289,10 @@ def main(argv=None) -> int:
         report["enabled_seconds"], report["overhead_enabled_pct"]))
     print("  hook crossings       : %d at %.1f ns each (disabled)" % (
         report["n_hook_calls"], report["per_hook_disabled_ns"]))
-    print("  disabled overhead    : %.4f%% (bound; gate < %.1f%%)" % (
+    print("  telemetry records    : %d at %.0f ns each (%.4f%% of workload)" % (
+        report["n_telemetry_requests"], report["per_telemetry_record_ns"],
+        report["telemetry_overhead_pct"]))
+    print("  disabled overhead    : %.4f%% (bound incl. telemetry; gate < %.1f%%)" % (
         report["overhead_disabled_pct"], MAX_DISABLED_OVERHEAD_PCT))
     print("  bit identical        : %s" % report["enabled_bit_identical"])
     print("  subsystems spanned   : %s" % ", ".join(report["categories"]))

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.bench.perf_serving import build_dataset, build_queries
 from repro.core.sspc import SSPC
+from repro.obs.histogram import nearest_rank
 from repro.serving.artifact import load_artifact
 from repro.serving.index import ProjectedClusterIndex
 from repro.server.app import PredictServer, ServerConfig
@@ -83,9 +84,7 @@ async def _read_label(reader: asyncio.StreamReader) -> int:
 
 
 def _percentile_ms(latencies_s: List[float], fraction: float) -> float:
-    ordered = sorted(latencies_s)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank] * 1e3
+    return nearest_rank(sorted(latencies_s), fraction) * 1e3
 
 
 async def _run_phases(args: argparse.Namespace, artifact_path: str, queries: np.ndarray) -> dict:

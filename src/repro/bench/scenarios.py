@@ -984,6 +984,7 @@ def _execute_obs(params: Mapping[str, object]) -> Dict[str, object]:
         fit_iterations=int(params["fit_iterations"]),
         stream_batches=int(params["stream_batches"]),
         batch_size=int(params["batch_size"]),
+        telemetry_requests=int(params.get("telemetry_requests", 400)),
         repeats=int(params["repeats"]),
         seed=int(params["seed"]),
         smoke=False,
@@ -1000,7 +1001,9 @@ def _aggregate_obs(payloads: Sequence[Mapping[str, object]]) -> Dict[str, object
             % (report["enabled_seconds"], report["overhead_enabled_pct"]),
             "hook crossings      : %d at %.1f ns disabled"
             % (report["n_hook_calls"], report["per_hook_disabled_ns"]),
-            "disabled overhead   : %.4f%% (bound; gate < 2%%)"
+            "telemetry records   : %d at %.0f ns each"
+            % (report["n_telemetry_requests"], report["per_telemetry_record_ns"]),
+            "disabled overhead   : %.4f%% (bound incl. telemetry; gate < 2%%)"
             % report["overhead_disabled_pct"],
             "bit identical       : %s" % report["enabled_bit_identical"],
             "subsystems spanned  : %s" % ", ".join(report["categories"]),
@@ -1015,6 +1018,9 @@ def _aggregate_obs(payloads: Sequence[Mapping[str, object]]) -> Dict[str, object
             "overhead_enabled_pct": float(report["overhead_enabled_pct"]),
             "n_hook_calls": float(report["n_hook_calls"]),
             "per_hook_disabled_ns": float(report["per_hook_disabled_ns"]),
+            "n_telemetry_requests": float(report["n_telemetry_requests"]),
+            "per_telemetry_record_ns": float(report["per_telemetry_record_ns"]),
+            "telemetry_overhead_pct": float(report["telemetry_overhead_pct"]),
             "n_subsystems": float(len(report["categories"])),
         },
         "table": table,
@@ -1751,6 +1757,9 @@ registry.register(
             MetricSpec("overhead_enabled_pct", "info"),
             MetricSpec("n_hook_calls", "info"),
             MetricSpec("per_hook_disabled_ns", "info"),
+            MetricSpec("n_telemetry_requests", "info"),
+            MetricSpec("per_telemetry_record_ns", "info"),
+            MetricSpec("telemetry_overhead_pct", "info"),
             MetricSpec("n_subsystems", "info"),
         ),
     )

@@ -31,9 +31,17 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.histogram import LogHistogram, log_bounds, nearest_rank
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.telemetry import RequestTrace, Telemetry
 
 __all__ = [
+    "LogHistogram",
     "Recorder",
+    "RequestTrace",
+    "SLOConfig",
+    "SLOTracker",
+    "Telemetry",
     "begin_child_recording",
     "chrome_trace",
     "configure",
@@ -44,8 +52,10 @@ __all__ = [
     "get_recorder",
     "incr",
     "load_chrome_trace",
+    "log_bounds",
     "metrics_snapshot",
     "monotonic",
+    "nearest_rank",
     "observe",
     "recording",
     "span",

@@ -3,15 +3,22 @@
 Subcommands
 -----------
 ``report``
-    Summarise a metrics snapshot (``--metrics``) and/or a Chrome trace
-    (``--trace``): counters, histogram quantiles, event log, and span
-    time by category/name.
+    Summarise a metrics snapshot (``--metrics``), a Chrome trace
+    (``--trace``), and/or a live serving daemon (``--url``): counters,
+    histogram quantiles, event log, span time by category/name, and —
+    for a live daemon — per-route latency and SLO burn rates.
+``tail``
+    Fetch a running daemon's tail-latency capture (the slowest and
+    errored requests with their full span trees) as a Chrome trace,
+    summarise it, and optionally save it for Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import urllib.request
 from typing import Any, Dict, List, Optional
 
 from repro.obs.export import load_chrome_trace, summarize_histogram
@@ -79,14 +86,17 @@ def _report_metrics(path: str, lines: List[str]) -> None:
 
 
 def _report_trace(path: str, lines: List[str]) -> None:
-    payload = load_chrome_trace(path)
+    _summarize_trace(load_chrome_trace(path), path, lines)
+
+
+def _summarize_trace(payload: Dict[str, Any], source: str, lines: List[str]) -> None:
     events = payload.get("traceEvents") or []
     spans = [ev for ev in events if ev.get("ph") == "X"]
     instants = [ev for ev in events if ev.get("ph") == "i"]
     other = payload.get("otherData") or {}
     lines.append(
         "trace: %s (trace %s) — %d spans, %d events"
-        % (path, other.get("trace_id"), len(spans), len(instants))
+        % (source, other.get("trace_id"), len(spans), len(instants))
     )
     by_name: Dict[str, Dict[str, Any]] = {}
     for span in spans:
@@ -116,7 +126,73 @@ def _report_trace(path: str, lines: List[str]) -> None:
             kinds[str(ev.get("name", "event"))] = kinds.get(str(ev.get("name", "event")), 0) + 1
         for kind in sorted(kinds):
             lines.append("  %-32s %d" % (kind, kinds[kind]))
-    lines.append("\nopen in Perfetto: https://ui.perfetto.dev → 'Open trace file' → %s" % path)
+    lines.append("\nopen in Perfetto: https://ui.perfetto.dev → 'Open trace file' → %s" % source)
+
+
+def _fetch_json(url: str, timeout: float = 15.0) -> Dict[str, Any]:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _report_server(url: str, lines: List[str]) -> None:
+    """Render a live daemon's `/metrics` telemetry: latency, SLO, burn."""
+    base = url.rstrip("/")
+    payload = _fetch_json(base + "/metrics")
+    telemetry = payload.get("telemetry") or {}
+    lines.append("server: %s (generation %s)" % (base, payload.get("generation")))
+    latency = telemetry.get("latency_seconds") or {}
+    if latency:
+        lines.append("\nlatency by route × status class:")
+        lines.append(
+            "  %-28s %8s %12s %12s %12s" % ("route status", "count", "mean", "p50", "p99")
+        )
+        for route in sorted(latency):
+            for klass in sorted(latency[route]):
+                summary = latency[route][klass]
+                if not summary.get("count"):
+                    continue
+                lines.append(
+                    "  %-28s %8d %12s %12s %12s"
+                    % (
+                        "%s %s" % (route, klass),
+                        summary["count"],
+                        _format_seconds(summary.get("mean", 0.0)),
+                        _format_seconds(summary.get("p50", 0.0)),
+                        _format_seconds(summary.get("p99", 0.0)),
+                    )
+                )
+    slo = telemetry.get("slo") or {}
+    objectives = slo.get("objectives") or {}
+    windows = slo.get("windows") or {}
+    if windows:
+        lines.append(
+            "\nSLO (availability ≥ %s, %s%% ≤ %s ms) — status: %s"
+            % (
+                objectives.get("availability_target"),
+                100.0 * float(objectives.get("latency_target", 0.0)),
+                objectives.get("latency_budget_ms"),
+                slo.get("status", "?"),
+            )
+        )
+        lines.append(
+            "  %-6s %10s %8s %8s %18s %14s"
+            % ("window", "requests", "errors", "slow", "availability_burn", "latency_burn")
+        )
+        for label in ("1m", "5m", "1h"):
+            window = windows.get(label)
+            if not window:
+                continue
+            lines.append(
+                "  %-6s %10d %8d %8d %18.3f %14.3f"
+                % (
+                    label,
+                    window.get("requests", 0),
+                    window.get("errors", 0),
+                    window.get("slow", 0),
+                    window.get("availability_burn", 0.0),
+                    window.get("latency_burn", 0.0),
+                )
+            )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -127,6 +203,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if lines:
             lines.append("")
         _report_trace(args.trace, lines)
+    if args.url:
+        if lines:
+            lines.append("")
+        _report_server(args.url, lines)
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    payload = _fetch_json(base + "/debug/tail_trace")
+    source = base + "/debug/tail_trace"
+    if args.out:
+        from repro.reliability.atomic import atomic_write_text
+
+        atomic_write_text(args.out, json.dumps(payload))
+        source = args.out
+    lines: List[str] = []
+    _summarize_trace(payload, source, lines)
     print("\n".join(lines))
     return 0
 
@@ -142,15 +237,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metrics snapshot JSON written by --metrics-out")
     report.add_argument("--trace", default=None,
                         help="Chrome trace JSON written by --trace")
+    report.add_argument("--url", default=None,
+                        help="base URL of a live repro-server daemon "
+                             "(renders its /metrics telemetry and SLO burn rates)")
     report.set_defaults(func=_cmd_report)
+    tail = subparsers.add_parser(
+        "tail", help="dump a live daemon's tail-latency Chrome trace"
+    )
+    tail.add_argument("--url", required=True,
+                      help="base URL of a live repro-server daemon")
+    tail.add_argument("--out", default=None,
+                      help="write the Chrome trace JSON here (Perfetto-loadable)")
+    tail.set_defaults(func=_cmd_tail)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "report" and not (args.metrics or args.trace):
-        parser.error("report needs --metrics and/or --trace")
+    if args.command == "report" and not (args.metrics or args.trace or args.url):
+        parser.error("report needs --metrics, --trace and/or --url")
     try:
         return args.func(args)
     except (OSError, ValueError) as error:

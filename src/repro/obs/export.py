@@ -17,12 +17,12 @@ keep ``repro.obs`` dependency-free for the instrumented layers.
 from __future__ import annotations
 
 import json
-import math
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.obs import core
+from repro.obs.histogram import nearest_rank
 
 __all__ = [
     "chrome_trace",
@@ -102,7 +102,12 @@ def chrome_trace(source: Union[core.Recorder, Dict[str, Any]]) -> Dict[str, Any]
 
 
 def summarize_histogram(values: List[float]) -> Dict[str, float]:
-    """count/min/max/mean/sum plus nearest-rank p50/p90/p99."""
+    """count/min/max/mean/sum plus nearest-rank p50/p90/p99.
+
+    Rank arithmetic lives in :func:`repro.obs.histogram.nearest_rank`,
+    the shared primitive also backing the batcher stats and the serving
+    telemetry buckets.
+    """
     ordered = sorted(float(v) for v in values)
     count = len(ordered)
     if count == 0:
@@ -115,8 +120,7 @@ def summarize_histogram(values: List[float]) -> Dict[str, float]:
         "mean": sum(ordered) / count,
     }
     for label, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
-        rank = max(0, min(count - 1, math.ceil(q * count) - 1))
-        summary[label] = ordered[rank]
+        summary[label] = nearest_rank(ordered, q)
     return summary
 
 

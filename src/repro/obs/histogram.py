@@ -1,0 +1,164 @@
+"""The one histogram/percentile primitive shared by every layer.
+
+Before this module existed the repository had three independent
+percentile implementations: ``server/batcher.py`` kept bounded rings
+of raw batch sizes and queue waits and ran an ad-hoc nearest-rank
+helper over them, ``obs/export.py`` re-implemented the same rank
+arithmetic for recorder histograms, and the serving telemetry layer
+needed fixed-boundary buckets for Prometheus exposition.  All three
+now sit on this file:
+
+* :func:`nearest_rank` — the exact nearest-rank percentile over a raw
+  sample, for call sites that retain every observation.
+* :class:`LogHistogram` — a fixed-boundary, log-bucketed histogram for
+  always-on aggregation: O(#buckets) memory no matter how many
+  observations arrive, exact ``count``/``sum``/``min``/``max``,
+  interpolated quantiles, mergeable, and directly exposable as a
+  Prometheus cumulative ``_bucket`` series.
+
+Boundaries are fixed at construction (``log_bounds`` builds geometric
+grids) so histograms recorded by different processes, or scraped at
+different times, are always mergeable and comparable bucket by bucket
+— the property Prometheus cumulative series rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["LogHistogram", "log_bounds", "nearest_rank"]
+
+
+def nearest_rank(values: Sequence[float], fraction: float) -> float:
+    """Exact nearest-rank percentile of a non-empty sample.
+
+    ``fraction`` is in ``[0, 1]``; ``nearest_rank(xs, 0.99)`` is the
+    smallest element with at least 99% of the sample at or below it.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1], got %r" % (fraction,))
+    ordered = sorted(float(value) for value in values)
+    if not ordered:
+        raise ValueError("nearest_rank of an empty sample")
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[max(0, min(rank, len(ordered) - 1))]
+
+
+def log_bounds(lo: float, hi: float, per_decade: int = 5) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds covering ``[lo, hi]``.
+
+    Returns an ascending tuple whose first element is ``lo`` and whose
+    last element is ``>= hi``, with ``per_decade`` bounds per factor of
+    ten.  Bounds are rounded to 4 significant digits so exposition
+    labels stay readable and stable across platforms.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi, got lo=%r hi=%r" % (lo, hi))
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    n_steps = int(math.ceil(per_decade * math.log10(hi / lo)))
+    bounds: List[float] = []
+    for step in range(n_steps + 1):
+        bound = float("%.4g" % (lo * 10.0 ** (step / per_decade)))
+        if not bounds or bound > bounds[-1]:
+            bounds.append(bound)
+    return tuple(bounds)
+
+
+class LogHistogram:
+    """Fixed-boundary bucketed histogram with exact count/sum/min/max.
+
+    ``bounds`` are ascending bucket *upper* bounds; an observation
+    ``v`` lands in the first bucket whose bound is ``>= v`` (Prometheus
+    ``le`` semantics).  One extra overflow bucket (``le="+Inf"``)
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or any(nxt <= prev for nxt, prev in zip(ordered[1:], ordered)):
+            raise ValueError("bounds must be non-empty and strictly ascending")
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``math.inf`` last.
+
+        The final pair's count always equals :attr:`count` — the
+        invariant Prometheus requires of ``_bucket{le="+Inf"}``.
+        """
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, running + self.bucket_counts[-1]))
+        return pairs
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated quantile, linearly interpolated within its bucket.
+
+        Exact ``min``/``max`` clamp the estimate, so single-observation
+        histograms report that observation for every quantile and the
+        overflow bucket never invents values beyond the observed max.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1], got %r" % (fraction,))
+        if self.count == 0:
+            raise ValueError("quantile of an empty histogram")
+        rank = max(1, math.ceil(fraction * self.count))
+        running = 0
+        for index, count in enumerate(self.bucket_counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                estimate = lower + (upper - lower) * ((rank - running) / count)
+                return min(max(estimate, self.min), self.max)
+            running += count
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict (``count``/``sum``/``mean``/``min``/``max``/pXX)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }

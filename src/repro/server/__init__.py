@@ -24,7 +24,9 @@ Layers, bottom up:
   artifact generation is persisted crash-safely, and replicas reload it.
 * :mod:`repro.server.app` — :class:`~repro.server.app.PredictServer`,
   the routed application (``/predict``, ``/predict_soft``,
-  ``/partial_update``, ``/healthz``, ``/metrics``).
+  ``/partial_update``, ``/healthz``, ``/metrics`` — JSON or
+  ``?format=prometheus`` — and ``/debug/tail_trace``), with
+  request-scoped telemetry (:mod:`repro.obs.telemetry`) always on.
 * :mod:`repro.server.cli` — the ``repro-server`` console script.
 
 Start one from Python::

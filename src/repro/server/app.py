@@ -21,14 +21,25 @@ One asyncio event loop accepts connections, parses requests
     carries the new generation number.
 ``GET /healthz``
     Liveness + shape: generation, worker counts, cluster/dimension
-    counts, uptime.
+    counts, uptime, and the SLO report — the status degrades to 503
+    when the error budget is fast-burning (see :mod:`repro.obs.slo`).
 ``GET /metrics``
     Batcher statistics (batch-size / queue-wait percentiles, flush
-    reasons), per-route request counters, and error counts.
+    reasons), per-route request counters, error counts, and the
+    telemetry snapshot (per route × status-class latency histograms,
+    SLO windows).  ``?format=prometheus`` renders the same state as
+    Prometheus text exposition instead.
+``GET /debug/tail_trace``
+    Chrome trace of the tail capture: the slowest and errored requests
+    with their full span trees — each ``server.request`` span linked to
+    the ``server.flush`` that served it and the worker-side
+    ``worker.predict`` kernel span, all stamped with the request id.
 
-Every response carries the artifact ``generation`` it was served from,
-so a client interleaving folds and predicts can tell which state
-answered.
+Every request carries an id: an inbound ``X-Request-Id`` header is
+honored, otherwise one is generated, and every response — including
+4xx/5xx and pre-routing parse errors — echoes it back.  Every response
+also carries the artifact ``generation`` it was served from, so a
+client interleaving folds and predicts can tell which state answered.
 """
 
 from __future__ import annotations
@@ -38,18 +49,48 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
+from urllib.parse import parse_qsl
 
 import numpy as np
 
 from repro import obs
+from repro.obs.prom import CONTENT_TYPE, PromWriter, write_histogram, write_telemetry
+from repro.obs.slo import SLOConfig
+from repro.obs.telemetry import RequestTrace, Telemetry
 from repro.reliability import atomic_write_text
-from repro.server.batcher import MicroBatcher
-from repro.server.http import HTTPError, HTTPRequest, json_response, read_request
+from repro.server.batcher import FLUSH_REASONS, MicroBatcher
+from repro.server.http import (
+    HTTPError,
+    HTTPRequest,
+    json_response,
+    read_request,
+    render_response,
+)
 from repro.server.pool import BackendError, make_backend
 
 PathLike = Union[str, Path]
 
 __all__ = ["PredictServer", "ServerConfig"]
+
+#: Bounded-cardinality telemetry labels per path; anything unknown
+#: aggregates as "other" so a path-scanning client cannot explode the
+#: per-route histogram space.
+ROUTE_LABELS = {
+    "/predict": "predict",
+    "/predict_soft": "predict_soft",
+    "/partial_update": "partial_update",
+    "/healthz": "healthz",
+    "/metrics": "metrics",
+    "/debug/tail_trace": "tail_trace",
+}
+
+
+@dataclass
+class RawResponse:
+    """A handler result that is already rendered (non-JSON payloads)."""
+
+    body: bytes
+    content_type: str
 
 
 @dataclass
@@ -77,6 +118,16 @@ class ServerConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     #: Close keep-alive connections idle longer than this.
     idle_timeout_s: float = 300.0
+    #: SLO: fraction of requests that must not be server errors (5xx).
+    slo_availability_target: float = 0.999
+    #: SLO: per-request latency budget in milliseconds.
+    slo_latency_budget_ms: float = 250.0
+    #: SLO: fraction of requests that must land within the budget.
+    slo_latency_target: float = 0.99
+    #: Tail capture: slowest-N requests retained per rolling window.
+    tail_slow_requests: int = 32
+    #: Tail capture: errored requests retained.
+    tail_error_requests: int = 64
 
 
 class PredictServer:
@@ -98,6 +149,15 @@ class PredictServer:
             adaptive=self.config.adaptive_batching,
         )
         self.generation = 0
+        self.telemetry = Telemetry(
+            SLOConfig(
+                availability_target=self.config.slo_availability_target,
+                latency_budget_ms=self.config.slo_latency_budget_ms,
+                latency_target=self.config.slo_latency_target,
+            ),
+            tail_slow=self.config.tail_slow_requests,
+            tail_errors=self.config.tail_error_requests,
+        )
         # Route table is hot (hit once per request) — build it once.
         self._routes = {
             ("POST", "/predict"): self._handle_predict,
@@ -105,6 +165,7 @@ class PredictServer:
             ("POST", "/partial_update"): self._handle_partial_update,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/tail_trace"): self._handle_tail_trace,
         }
         self._known_paths = {path for _, path in self._routes}
         self.request_counts: Dict[Tuple[str, str], int] = {}
@@ -203,10 +264,23 @@ class PredictServer:
                         reader, max_body_bytes=self.config.max_body_bytes
                     )
                 except HTTPError as exc:
+                    # Pre-routing failure (malformed request, oversized
+                    # body): still assign a request id (honoring any
+                    # inbound one the parser salvaged), and still count
+                    # the request — unaccounted traffic is invisible
+                    # traffic.
+                    request_id = self._request_id(exc.headers)
+                    route = ("*", "bad_request")
+                    self.request_counts[route] = self.request_counts.get(route, 0) + 1
                     self._count_error(exc.status)
+                    trace = self.telemetry.begin_request("*", "bad_request", request_id)
+                    self.telemetry.finish_request(trace, exc.status, error=exc.message)
                     writer.write(
                         json_response(
-                            {"error": exc.message}, status=exc.status, keep_alive=False
+                            {"error": exc.message},
+                            status=exc.status,
+                            keep_alive=False,
+                            request_id=request_id,
                         )
                     )
                     await writer.drain()
@@ -233,27 +307,75 @@ class PredictServer:
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
+    def _request_id(self, headers: Dict[str, str]) -> str:
+        """Honor an inbound ``X-Request-Id`` (length-capped) or mint one."""
+        inbound = headers.get("x-request-id", "").strip()
+        if inbound:
+            return inbound[:128]
+        return self.telemetry.next_request_id()
+
     async def _dispatch(self, request: HTTPRequest) -> bytes:
         route = (request.method, request.path)
         self.request_counts[route] = self.request_counts.get(route, 0) + 1
         keep = request.keep_alive
+        request_id = self._request_id(request.headers)
+        trace = self.telemetry.begin_request(
+            request.method, ROUTE_LABELS.get(request.path, "other"), request_id
+        )
+        status = 500
         try:
-            handler = self._route(request)
-            payload, status = await handler(request)
-            return json_response(payload, status=status, keep_alive=keep)
-        except HTTPError as exc:
-            self._count_error(exc.status)
-            return json_response({"error": exc.message}, status=exc.status, keep_alive=keep)
-        except BackendError as exc:
-            self._count_error(503)
-            obs.event("backend_error", route="%s %s" % route, error=str(exc))
-            return json_response({"error": str(exc)}, status=503, keep_alive=keep)
-        except Exception as exc:  # noqa: BLE001 - the daemon must not die per-request
-            self._count_error(500)
-            obs.event("server_error", route="%s %s" % route, error=repr(exc))
-            return json_response(
-                {"error": "internal error: %r" % exc}, status=500, keep_alive=keep
-            )
+            try:
+                handler = self._route(request)
+                payload, status = await handler(request, trace)
+                if isinstance(payload, RawResponse):
+                    return render_response(
+                        status,
+                        payload.body,
+                        content_type=payload.content_type,
+                        keep_alive=keep,
+                        request_id=request_id,
+                    )
+                serialize_start = obs.monotonic()
+                response = json_response(
+                    payload, status=status, keep_alive=keep, request_id=request_id
+                )
+                trace.add_phase(
+                    "server.serialize",
+                    self.telemetry.to_timeline(serialize_start),
+                    obs.monotonic() - serialize_start,
+                )
+                return response
+            except HTTPError as exc:
+                status = exc.status
+                self._count_error(status)
+                trace.error = exc.message
+                return json_response(
+                    {"error": exc.message},
+                    status=status,
+                    keep_alive=keep,
+                    request_id=request_id,
+                )
+            except BackendError as exc:
+                status = 503
+                self._count_error(503)
+                trace.error = str(exc)
+                obs.event("backend_error", route="%s %s" % route, error=str(exc))
+                return json_response(
+                    {"error": str(exc)}, status=503, keep_alive=keep, request_id=request_id
+                )
+            except Exception as exc:  # noqa: BLE001 - the daemon must not die per-request
+                status = 500
+                self._count_error(500)
+                trace.error = repr(exc)
+                obs.event("server_error", route="%s %s" % route, error=repr(exc))
+                return json_response(
+                    {"error": "internal error: %r" % exc},
+                    status=500,
+                    keep_alive=keep,
+                    request_id=request_id,
+                )
+        finally:
+            self.telemetry.finish_request(trace, status)
 
     def _route(self, request: HTTPRequest):
         handler = self._routes.get((request.method, request.path))
@@ -298,24 +420,51 @@ class PredictServer:
             )
         return points, single
 
-    async def _flush_predict(self, points: np.ndarray) -> np.ndarray:
-        return await self.backend.predict(points)
+    async def _flush_predict(self, points: np.ndarray, meta: Dict[str, object]) -> np.ndarray:
+        """Batcher flush: traced predict, flush recorded for telemetry.
+
+        The backend's traced path runs the kernel under a private
+        worker-side recorder; its exported state is retained with the
+        flush so tail traces can splice the actual kernel span into
+        every request that rode this batch.
+        """
+        start = obs.monotonic()
+        labels, worker_state = await self.backend.predict_traced(points)
+        self.telemetry.observe_flush(
+            int(meta["batch_id"]),
+            str(meta["reason"]),
+            int(points.shape[0]),
+            start,
+            obs.monotonic() - start,
+            worker_state,
+        )
+        return labels
 
     # ------------------------------------------------------------------ #
     # handlers — each returns (payload, status)
     # ------------------------------------------------------------------ #
-    async def _handle_predict(self, request: HTTPRequest):
+    async def _handle_predict(self, request: HTTPRequest, trace: RequestTrace):
         points, single = self._parse_points(request.json())
         if single:
-            label = await self.batcher.submit(points[0])
+            ticket: Dict[str, object] = {}
+            submitted = obs.monotonic()
+            label = await self.batcher.submit(points[0], ticket)
+            trace.link_batch(ticket, self.telemetry.to_timeline(submitted))
             return {"label": int(label), "generation": self.generation}, 200
+        kernel_start = obs.monotonic()
         labels = await self.backend.predict(points)
+        trace.add_phase(
+            "server.kernel",
+            self.telemetry.to_timeline(kernel_start),
+            obs.monotonic() - kernel_start,
+            rows=int(points.shape[0]),
+        )
         return {
             "labels": [int(label) for label in labels],
             "generation": self.generation,
         }, 200
 
-    async def _handle_predict_soft(self, request: HTTPRequest):
+    async def _handle_predict_soft(self, request: HTTPRequest, trace: RequestTrace):
         payload = request.json()
         points, single = self._parse_points(payload)
         top_m = payload.get("top_m", 3) if isinstance(payload, dict) else 3
@@ -337,7 +486,7 @@ class PredictServer:
             del body["labels"]
         return body, 200
 
-    async def _handle_partial_update(self, request: HTTPRequest):
+    async def _handle_partial_update(self, request: HTTPRequest, trace: RequestTrace):
         payload = request.json()
         points, _ = self._parse_points(payload)
         labels = None
@@ -364,20 +513,33 @@ class PredictServer:
             "generation": self.generation,
         }, 200
 
-    async def _handle_healthz(self, request: HTTPRequest):
+    async def _handle_healthz(self, request: HTTPRequest, trace: RequestTrace):
         description = self.backend.describe()
         uptime = 0.0
         if self._started_at is not None:
             uptime = obs.monotonic() - self._started_at
-        status = 200 if self.backend.alive_workers > 0 else 503
-        return {
-            "status": "ok" if status == 200 else "degraded",
+        slo = self.telemetry.slo.report()
+        reason = None
+        if self.backend.alive_workers == 0:
+            reason = "no_live_workers"
+        elif slo["fast_burn"]:
+            # The declared objectives are burning fast enough to page on;
+            # degrade so load balancers shed traffic before it gets worse.
+            reason = "slo_fast_burn"
+        body = {
+            "status": "ok" if reason is None else "degraded",
             "generation": self.generation,
             "uptime_s": round(uptime, 3),
+            "slo": slo,
             **description,
-        }, status
+        }
+        if reason is not None:
+            body["reason"] = reason
+        return body, (200 if reason is None else 503)
 
-    async def _handle_metrics(self, request: HTTPRequest):
+    async def _handle_metrics(self, request: HTTPRequest, trace: RequestTrace):
+        if dict(parse_qsl(request.query)).get("format") == "prometheus":
+            return RawResponse(self.render_prometheus().encode("utf-8"), CONTENT_TYPE), 200
         return {
             "batcher": self.batcher.stats.snapshot(),
             "requests": {
@@ -387,4 +549,65 @@ class PredictServer:
             "generation": self.generation,
             "batcher_depth": self.batcher.depth,
             "batcher_max_wait_us": self.batcher.max_wait_us,
+            "telemetry": self.telemetry.snapshot(),
         }, 200
+
+    async def _handle_tail_trace(self, request: HTTPRequest, trace: RequestTrace):
+        return self.telemetry.tail_trace(), 200
+
+    def render_prometheus(self) -> str:
+        """The whole server state as Prometheus text exposition."""
+        writer = PromWriter()
+        write_telemetry(writer, self.telemetry)
+        writer.family(
+            "repro_http_requests_total", "counter", "Requests by method and path."
+        )
+        for (method, path), count in sorted(self.request_counts.items()):
+            writer.sample(
+                "repro_http_requests_total", {"method": method, "path": path}, count
+            )
+        writer.family(
+            "repro_http_errors_total", "counter", "Error responses by status code."
+        )
+        for status_code, count in sorted(self.error_counts.items()):
+            writer.sample("repro_http_errors_total", {"status": status_code}, count)
+        stats = self.batcher.stats
+        writer.family(
+            "repro_batcher_flush_total", "counter", "Micro-batch flushes by reason."
+        )
+        for flush_reason in FLUSH_REASONS:
+            writer.sample(
+                "repro_batcher_flush_total",
+                {"reason": flush_reason},
+                stats.flush_reasons.get(flush_reason, 0),
+            )
+        writer.family(
+            "repro_batcher_submitted_total",
+            "counter",
+            "Single-point submissions that entered the micro-batcher.",
+        )
+        writer.sample("repro_batcher_submitted_total", None, stats.n_submitted)
+        writer.family("repro_batch_size", "histogram", "Rows per micro-batch flush.")
+        write_histogram(writer, "repro_batch_size", {}, stats.batch_size)
+        writer.family(
+            "repro_queue_wait_seconds",
+            "histogram",
+            "Time a submission waited in the batcher queue.",
+        )
+        write_histogram(
+            writer, "repro_queue_wait_seconds", {}, stats.queue_wait_us, scale=1e-6
+        )
+        writer.family(
+            "repro_batcher_depth", "gauge", "Submissions pending in the batcher."
+        )
+        writer.sample("repro_batcher_depth", None, self.batcher.depth)
+        writer.family("repro_generation", "gauge", "Artifact generation being served.")
+        writer.sample("repro_generation", None, self.generation)
+        writer.family("repro_workers_alive", "gauge", "Live backend workers.")
+        writer.sample("repro_workers_alive", None, self.backend.alive_workers)
+        uptime = 0.0
+        if self._started_at is not None:
+            uptime = obs.monotonic() - self._started_at
+        writer.family("repro_uptime_seconds", "gauge", "Seconds since the daemon booted.")
+        writer.sample("repro_uptime_seconds", None, uptime)
+        return writer.render()

@@ -54,48 +54,68 @@ counters) and mirrored into a local :class:`BatcherStats` so
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import inspect
+import itertools
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.obs.histogram import LogHistogram, log_bounds
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
 #: Flush reasons, in the order they are reported.
 FLUSH_REASONS = ("full", "quiesce", "timeout", "chained", "drain")
 
-
-def _percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of a non-empty sequence."""
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return float(ordered[rank])
+#: Fixed bucket bounds for the always-on batcher histograms — shared
+#: with the Prometheus exposition, which requires stable boundaries.
+BATCH_SIZE_BOUNDS = log_bounds(1.0, 4096.0, per_decade=10)
+QUEUE_WAIT_BOUNDS_US = log_bounds(1.0, 6e7, per_decade=5)
 
 
-@dataclass
+def _accepts_meta(flush_fn: Callable) -> bool:
+    """Does ``flush_fn`` take a second positional ``meta`` parameter?
+
+    Determined once at construction; unintrospectable callables are
+    treated as the classic single-argument shape.
+    """
+    try:
+        parameters = inspect.signature(flush_fn).parameters
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p
+        for p in parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(positional) >= 2
+
+
 class BatcherStats:
-    """Running counters the ``/metrics`` endpoint reports."""
+    """Running counters the ``/metrics`` endpoint reports.
 
-    n_submitted: int = 0
-    n_flushes: int = 0
-    flush_reasons: Dict[str, int] = field(
-        default_factory=lambda: {reason: 0 for reason in FLUSH_REASONS}
-    )
-    batch_sizes: List[int] = field(default_factory=list)
-    queue_wait_us: List[float] = field(default_factory=list)
-    _window: int = 4096  # ring-buffer bound on the percentile windows
+    Batch sizes and queue waits aggregate into fixed-boundary
+    :class:`~repro.obs.histogram.LogHistogram` s — O(#buckets) memory
+    under unbounded traffic (the previous implementation kept raw
+    sample rings and re-sorted them per snapshot).  ``snapshot()`` keys
+    are unchanged; counts/means/maxima stay exact, percentiles become
+    bucket-interpolated estimates.
+    """
+
+    def __init__(self) -> None:
+        self.n_submitted = 0
+        self.n_flushes = 0
+        self.flush_reasons: Dict[str, int] = {reason: 0 for reason in FLUSH_REASONS}
+        self.batch_size = LogHistogram(BATCH_SIZE_BOUNDS)
+        self.queue_wait_us = LogHistogram(QUEUE_WAIT_BOUNDS_US)
 
     def record_flush(self, reason: str, size: int, waits_us: Sequence[float]) -> None:
         self.n_flushes += 1
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
-        self.batch_sizes.append(int(size))
-        self.queue_wait_us.extend(float(wait) for wait in waits_us)
-        if len(self.batch_sizes) > self._window:
-            del self.batch_sizes[: -self._window]
-        if len(self.queue_wait_us) > self._window:
-            del self.queue_wait_us[: -self._window]
+        self.batch_size.observe(float(size))
+        for wait in waits_us:
+            self.queue_wait_us.observe(float(wait))
 
     def snapshot(self) -> Dict[str, object]:
         summary: Dict[str, object] = {
@@ -103,13 +123,14 @@ class BatcherStats:
             "n_flushes": self.n_flushes,
             "flush_reasons": dict(self.flush_reasons),
         }
-        if self.batch_sizes:
-            summary["mean_batch_size"] = float(np.mean(self.batch_sizes))
-            summary["p50_batch_size"] = _percentile(self.batch_sizes, 0.50)
-            summary["max_batch_size"] = int(max(self.batch_sizes))
-        if self.queue_wait_us:
-            summary["p50_queue_wait_us"] = _percentile(self.queue_wait_us, 0.50)
-            summary["p99_queue_wait_us"] = _percentile(self.queue_wait_us, 0.99)
+        if self.batch_size.count:
+            summary["mean_batch_size"] = self.batch_size.sum / self.batch_size.count
+            summary["p50_batch_size"] = self.batch_size.quantile(0.50)
+            summary["max_batch_size"] = int(self.batch_size.max)
+            summary["n_batched"] = int(self.batch_size.sum)
+        if self.queue_wait_us.count:
+            summary["p50_queue_wait_us"] = self.queue_wait_us.quantile(0.50)
+            summary["p99_queue_wait_us"] = self.queue_wait_us.quantile(0.99)
         return summary
 
 
@@ -123,7 +144,11 @@ class MicroBatcher:
         Called once per flush; result ``i`` resolves submission ``i``.
         Multiple flushes may be in flight at once (the worker pool
         provides the parallelism); ordering *within* a flush is
-        preserved, which is all bit-identity needs.
+        preserved, which is all bit-identity needs.  A flush function
+        accepting a second positional parameter instead receives
+        ``(points, meta)`` where ``meta`` carries ``batch_id``,
+        ``reason`` and ``size`` — the serving telemetry uses this to
+        link flushes back to the requests that rode them.
     max_batch:
         Flush immediately at this many pending requests.
     max_wait_us:
@@ -159,7 +184,11 @@ class MicroBatcher:
         self.adaptive = bool(adaptive)
         self.max_concurrency = int(max_concurrency)
         self.stats = BatcherStats()
-        self._pending: List[Tuple[np.ndarray, "asyncio.Future", float]] = []
+        self._wants_meta = _accepts_meta(flush_fn)
+        self._batch_ids = itertools.count(1)
+        self._pending: List[
+            Tuple[np.ndarray, "asyncio.Future", float, Optional[Dict[str, object]]]
+        ] = []
         self._flush_tasks: set = set()  # strong refs; asyncio keeps only weak ones
         self._timer: Optional[asyncio.TimerHandle] = None
         self._inflight = 0
@@ -176,13 +205,22 @@ class MicroBatcher:
         """Currently pending (not yet flushed) submissions."""
         return len(self._pending)
 
-    async def submit(self, point: np.ndarray) -> object:
-        """Enqueue one point; resolves with its row of the flushed result."""
+    async def submit(
+        self, point: np.ndarray, ticket: Optional[Dict[str, object]] = None
+    ) -> object:
+        """Enqueue one point; resolves with its row of the flushed result.
+
+        If ``ticket`` (a mutable dict) is given, the flush that serves
+        this submission writes its attribution into it before the
+        result resolves: ``batch_id``, ``batch_size``, ``flush_reason``,
+        ``queue_wait_us``, ``kernel_s`` and ``flush_start_s`` (absolute
+        ``obs.monotonic`` coordinates).
+        """
         if self._closed:
             raise RuntimeError("batcher is closed")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((point, future, obs.monotonic()))
+        self._pending.append((point, future, obs.monotonic(), ticket))
         self.stats.n_submitted += 1
         if len(self._pending) >= self.max_batch:
             self._launch_flush("full")
@@ -262,8 +300,9 @@ class MicroBatcher:
             if self.adaptive:
                 loop.call_soon(self._quiesce_check, self._epoch, len(self._pending))
         now = obs.monotonic()
-        waits_us = [(now - enqueued) * 1e6 for _, _, enqueued in batch]
+        waits_us = [(now - enqueued) * 1e6 for _, _, enqueued, _ in batch]
         size = len(batch)
+        batch_id = next(self._batch_ids)
         self.stats.record_flush(reason, size, waits_us)
         recorder = obs.get_recorder()
         if recorder is not None:
@@ -271,26 +310,46 @@ class MicroBatcher:
             for wait in waits_us:
                 recorder.observe("server.queue_wait_us", wait)
             recorder.incr("server.flush.%s" % reason)
+
+        def _fill_tickets(kernel_s: float) -> None:
+            for (_, _, _, ticket), wait in zip(batch, waits_us):
+                if ticket is not None:
+                    ticket.update(
+                        batch_id=batch_id,
+                        batch_size=size,
+                        flush_reason=reason,
+                        queue_wait_us=wait,
+                        kernel_s=kernel_s,
+                        flush_start_s=now,
+                    )
+
         try:
             try:
                 with obs.span("server.flush", category="server") as flush_span:
-                    points = np.stack([point for point, _, _ in batch])
-                    results = await self.flush_fn(points)
-                    flush_span.set(rows=size, reason=reason)
+                    points = np.stack([point for point, _, _, _ in batch])
+                    if self._wants_meta:
+                        results = await self.flush_fn(
+                            points, {"batch_id": batch_id, "reason": reason, "size": size}
+                        )
+                    else:
+                        results = await self.flush_fn(points)
+                    flush_span.set(rows=size, reason=reason, batch_id=batch_id)
             except Exception as exc:  # propagate to every waiter
-                for _, future, _ in batch:
+                _fill_tickets(obs.monotonic() - now)
+                for _, future, _, _ in batch:
                     if not future.done():
                         future.set_exception(exc)
                 return
+            _fill_tickets(obs.monotonic() - now)
             if len(results) != size:
                 error = RuntimeError(
                     "flush_fn returned %d results for %d submissions" % (len(results), size)
                 )
-                for _, future, _ in batch:
+                for _, future, _, _ in batch:
                     if not future.done():
                         future.set_exception(error)
                 return
-            for (_, future, _), result in zip(batch, results):
+            for (_, future, _, _), result in zip(batch, results):
                 if not future.done():
                     future.set_result(result)
         finally:

@@ -66,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="where partial_update generations are persisted (default: private tempdir)",
     )
+    parser.add_argument(
+        "--slo-availability-target",
+        type=float,
+        default=0.999,
+        help="fraction of requests that must not be 5xx (default %(default)s)",
+    )
+    parser.add_argument(
+        "--slo-latency-budget-ms",
+        type=float,
+        default=250.0,
+        help="per-request latency budget in milliseconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--slo-latency-target",
+        type=float,
+        default=0.99,
+        help="fraction of requests that must meet the latency budget (default %(default)s)",
+    )
     return parser
 
 
@@ -100,6 +118,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         center=args.center,
         mmap_mode=None if args.no_mmap else "r",
         state_dir=args.state_dir,
+        slo_availability_target=args.slo_availability_target,
+        slo_latency_budget_ms=args.slo_latency_budget_ms,
+        slo_latency_target=args.slo_latency_target,
     )
     try:
         return asyncio.run(_run(config, args.artifact))

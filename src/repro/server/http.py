@@ -46,12 +46,20 @@ _STATUS_PHRASES = {
 
 
 class HTTPError(Exception):
-    """A malformed or unacceptable request, mapped to a status code."""
+    """A malformed or unacceptable request, mapped to a status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` carries whatever request headers had been parsed before
+    the failure (empty for request-line errors) so the server can still
+    honor an inbound ``X-Request-Id`` on 400/413 responses.
+    """
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers: Dict[str, str] = headers or {}
 
 
 @dataclass
@@ -113,7 +121,7 @@ async def read_request(
             continue
         name, sep, value = raw_line.decode("latin-1").partition(":")
         if not sep:
-            raise HTTPError(400, "malformed header line %r" % raw_line[:80])
+            raise HTTPError(400, "malformed header line %r" % raw_line[:80], headers)
         headers[name.strip().lower()] = value.strip()
 
     path, _, query = target.partition("?")
@@ -123,18 +131,20 @@ async def read_request(
         try:
             length = int(headers["content-length"])
         except ValueError as exc:
-            raise HTTPError(400, "invalid Content-Length") from exc
+            raise HTTPError(400, "invalid Content-Length", headers) from exc
         if length < 0:
-            raise HTTPError(400, "invalid Content-Length")
+            raise HTTPError(400, "invalid Content-Length", headers)
         if length > max_body_bytes:
-            raise HTTPError(413, "request body exceeds %d bytes" % max_body_bytes)
+            raise HTTPError(
+                413, "request body exceeds %d bytes" % max_body_bytes, headers
+            )
         if length:
             try:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError as exc:
-                raise HTTPError(400, "connection closed mid-body") from exc
+                raise HTTPError(400, "connection closed mid-body", headers) from exc
     elif headers.get("transfer-encoding"):
-        raise HTTPError(400, "chunked request bodies are not supported")
+        raise HTTPError(400, "chunked request bodies are not supported", headers)
 
     return HTTPRequest(
         method=method,
@@ -164,17 +174,30 @@ def render_response(
     content_type: str = "application/json",
     keep_alive: bool = True,
     extra_headers: Optional[Tuple[Tuple[str, str], ...]] = None,
+    request_id: Optional[str] = None,
 ) -> bytes:
-    """Render one complete HTTP/1.1 response as bytes."""
+    """Render one complete HTTP/1.1 response as bytes.
+
+    ``request_id`` becomes an ``X-Request-Id`` header; the dominant
+    200/json/keep-alive shape keeps its precomputed fast path with and
+    without one.
+    """
     if (
         status == 200
         and keep_alive
         and extra_headers is None
         and content_type == "application/json"
     ):
+        if request_id is None:
+            return (
+                _FAST_200_PREFIX
+                + b"%d\r\nConnection: keep-alive\r\n\r\n" % len(body)
+                + body
+            )
         return (
             _FAST_200_PREFIX
-            + b"%d\r\nConnection: keep-alive\r\n\r\n" % len(body)
+            + b"%d\r\nX-Request-Id: %s\r\nConnection: keep-alive\r\n\r\n"
+            % (len(body), request_id.encode("latin-1"))
             + body
         )
     phrase = _STATUS_PHRASES.get(status, "Unknown")
@@ -184,13 +207,21 @@ def render_response(
         "Content-Length: %d" % len(body),
         "Connection: %s" % ("keep-alive" if keep_alive else "close"),
     ]
+    if request_id is not None:
+        lines.append("X-Request-Id: %s" % request_id)
     if extra_headers:
         for name, value in extra_headers:
             lines.append("%s: %s" % (name, value))
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 
-def json_response(payload: object, *, status: int = 200, keep_alive: bool = True) -> bytes:
+def json_response(
+    payload: object,
+    *,
+    status: int = 200,
+    keep_alive: bool = True,
+    request_id: Optional[str] = None,
+) -> bytes:
     """Render ``payload`` as a JSON response.
 
     Non-finite floats are emitted as ``Infinity`` / ``-Infinity`` /
@@ -199,4 +230,4 @@ def json_response(payload: object, *, status: int = 200, keep_alive: bool = True
     back exactly.
     """
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    return render_response(status, body, keep_alive=keep_alive)
+    return render_response(status, body, keep_alive=keep_alive, request_id=request_id)

@@ -114,6 +114,24 @@ def _apply_partial_update(
     return applied, int(absorbed)
 
 
+def _traced_predict(
+    index: ProjectedClusterIndex, points: np.ndarray
+) -> Tuple[np.ndarray, dict]:
+    """Predict under a private recorder; return ``(labels, recorder state)``.
+
+    The recorder is local to this call (the global hooks are untouched,
+    so enabled/disabled bit-identity contracts hold) and its exported
+    state rides back over the pool pipe for the serving telemetry to
+    merge into the originating request's trace via ``Recorder.ingest``.
+    """
+    recorder = obs.Recorder()
+    with recorder.span(
+        "worker.predict", category="server", rows=int(points.shape[0])
+    ):
+        labels = index.predict(points)
+    return labels, recorder.export_state()
+
+
 def _worker_main(
     conn,
     artifact_path: str,
@@ -141,6 +159,8 @@ def _worker_main(
         try:
             if op == "predict":
                 payload = index.predict(message[1])
+            elif op == "predict_t":
+                payload = _traced_predict(index, message[1])
             elif op == "predict_soft":
                 labels, clusters, gains = index.top_assignments(message[1], message[2])
                 payload = (labels, clusters, gains)
@@ -287,6 +307,10 @@ class InProcessBackend:
     async def predict(self, points: np.ndarray) -> np.ndarray:
         return await self._run(self.index.predict, points)
 
+    async def predict_traced(self, points: np.ndarray) -> Tuple[np.ndarray, dict]:
+        """Like :meth:`predict`, plus the kernel-side recorder state."""
+        return await self._run(_traced_predict, self.index, points)
+
     async def predict_soft(self, points: np.ndarray, top_m: int):
         return await self._run(self.index.top_assignments, points, top_m)
 
@@ -409,6 +433,10 @@ class WorkerPoolBackend:
 
     async def predict(self, points: np.ndarray) -> np.ndarray:
         return await self._call(self._pick(), ("predict", points))
+
+    async def predict_traced(self, points: np.ndarray) -> Tuple[np.ndarray, dict]:
+        """Like :meth:`predict`, plus the worker-side recorder state."""
+        return await self._call(self._pick(), ("predict_t", points))
 
     async def predict_soft(self, points: np.ndarray, top_m: int):
         return await self._call(self._pick(), ("predict_soft", points, top_m))

@@ -222,6 +222,102 @@ class TestObsLint:
         assert not lint.is_exempt("src/repro/bench/store.py")
 
 
+class TestObsLiveServerCli:
+    """`repro-obs report --url` and `repro-obs tail` against a fake daemon."""
+
+    METRICS = {
+        "generation": 3,
+        "telemetry": {
+            "requests_total": {"predict": {"2xx": 5}},
+            "latency_seconds": {
+                "predict": {
+                    "2xx": {
+                        "count": 5,
+                        "sum": 0.05,
+                        "mean": 0.01,
+                        "min": 0.005,
+                        "max": 0.02,
+                        "p50": 0.01,
+                        "p90": 0.018,
+                        "p99": 0.02,
+                        "buckets": {"le": [0.1, "+Inf"], "cumulative": [5, 5]},
+                    }
+                }
+            },
+            "slo": {
+                "objectives": {
+                    "availability_target": 0.999,
+                    "latency_budget_ms": 250.0,
+                    "latency_target": 0.99,
+                    "fast_burn_threshold": 14.4,
+                },
+                "windows": {
+                    "1m": {
+                        "requests": 5,
+                        "errors": 0,
+                        "slow": 0,
+                        "availability": 1.0,
+                        "latency_ok": 1.0,
+                        "availability_burn": 0.0,
+                        "latency_burn": 0.0,
+                        "seconds": 60,
+                    }
+                },
+                "fast_burn": False,
+                "status": "ok",
+            },
+            "tail": {"captured_slow": 2, "captured_errors": 0},
+        },
+    }
+    TAIL = {
+        "traceEvents": [
+            {
+                "name": "server.request",
+                "cat": "server",
+                "ph": "X",
+                "ts": 0.0,
+                "dur": 1000.0,
+                "pid": 1,
+                "tid": 1,
+                "args": {"request_id": "req-1", "span_id": 1, "parent_id": None},
+            }
+        ],
+        "displayTimeUnit": "ms",
+    }
+
+    @pytest.fixture
+    def fake_daemon(self, monkeypatch):
+        import repro.obs.cli as cli_module
+
+        def fetch(url, timeout=15.0):
+            if url.endswith("/metrics"):
+                return json.loads(json.dumps(self.METRICS))
+            if url.endswith("/debug/tail_trace"):
+                return json.loads(json.dumps(self.TAIL))
+            raise AssertionError("unexpected fetch: %s" % url)
+
+        monkeypatch.setattr(cli_module, "_fetch_json", fetch)
+
+    def test_report_url_renders_live_telemetry(self, fake_daemon, capsys):
+        assert obs_main(["report", "--url", "http://localhost:1"]) == 0
+        output = capsys.readouterr().out
+        assert "predict" in output
+        assert "availability" in output
+        assert "ok" in output
+
+    def test_tail_summarizes_and_saves(self, fake_daemon, capsys, tmp_path):
+        out = tmp_path / "tail.json"
+        assert obs_main(["tail", "--url", "http://localhost:1", "--out", str(out)]) == 0
+        saved = json.loads(out.read_text())
+        assert saved["traceEvents"][0]["name"] == "server.request"
+        output = capsys.readouterr().out
+        assert "server" in output
+
+    def test_report_still_requires_an_input(self):
+        with pytest.raises(SystemExit):
+            obs_main(["report"])
+
+
 def test_trace_is_valid_json_perfetto_shape(tmp_path):
     """The emitted file is plain JSON with the documented top-level shape."""
     from repro.obs.export import write_chrome_trace

@@ -1,0 +1,128 @@
+"""The shared histogram primitive: bounds, buckets, quantiles, merging."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.histogram import LogHistogram, log_bounds, nearest_rank
+
+
+class TestNearestRank:
+    def test_matches_hand_computed_ranks(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert nearest_rank(values, 0.5) == 5.0
+        assert nearest_rank(values, 0.9) == 9.0
+        assert nearest_rank(values, 0.99) == 10.0
+        assert nearest_rank(values, 0.0) == 1.0
+        assert nearest_rank(values, 1.0) == 10.0
+
+    def test_single_value(self):
+        assert nearest_rank([7.0], 0.5) == 7.0
+        assert nearest_rank([7.0], 0.99) == 7.0
+
+
+class TestLogBounds:
+    def test_spans_range_strictly_ascending(self):
+        bounds = log_bounds(1e-4, 60.0, per_decade=5)
+        assert bounds[0] <= 1e-4
+        assert bounds[-1] >= 60.0
+        assert all(b < a for b, a in zip(bounds, bounds[1:]))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(10.0, 1.0)
+
+
+class TestLogHistogram:
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            LogHistogram([])
+        with pytest.raises(ValueError):
+            LogHistogram([2.0, 1.0])
+        LogHistogram([1.0, 2.0, 3.0])  # ascending is fine
+
+    def test_counts_sum_min_max_exact(self):
+        histogram = LogHistogram(log_bounds(0.1, 100.0))
+        for value in (0.5, 1.5, 2.5, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(54.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+
+    def test_cumulative_uses_prometheus_le_semantics(self):
+        histogram = LogHistogram([1.0, 10.0])
+        histogram.observe(1.0)   # on a bound: belongs to the <= 1.0 bucket
+        histogram.observe(5.0)
+        histogram.observe(100.0)  # beyond the last bound: +Inf bucket
+        cumulative = histogram.cumulative()
+        assert cumulative == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_cumulative_final_bucket_equals_count(self):
+        histogram = LogHistogram(log_bounds(0.001, 10.0))
+        for i in range(100):
+            histogram.observe(0.01 * (i + 1))
+        cumulative = histogram.cumulative()
+        assert cumulative[-1] == (math.inf, 100)
+        counts = [count for _, count in cumulative]
+        assert counts == sorted(counts)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = LogHistogram(log_bounds(0.001, 1000.0))
+        for _ in range(50):
+            histogram.observe(5.0)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(0.99) == pytest.approx(5.0)
+        assert histogram.quantile(0.01) == pytest.approx(5.0)
+
+    def test_quantile_ordering(self):
+        histogram = LogHistogram(log_bounds(0.1, 1000.0))
+        for i in range(1, 1001):
+            histogram.observe(float(i))
+        p50, p90, p99 = (histogram.quantile(f) for f in (0.5, 0.9, 0.99))
+        assert p50 <= p90 <= p99
+        # Interpolated estimates land within the right bucket: loose but
+        # meaningful bracket around the true percentiles.
+        assert 300 <= p50 <= 700
+        assert p99 > 800
+
+    def test_merge_is_additive(self):
+        bounds = log_bounds(0.1, 100.0)
+        left, right = LogHistogram(bounds), LogHistogram(bounds)
+        for value in (0.5, 5.0):
+            left.observe(value)
+        for value in (50.0, 0.2):
+            right.observe(value)
+        left.merge(right)
+        assert left.count == 4
+        assert left.sum == pytest.approx(55.7)
+        assert left.min == 0.2
+        assert left.max == 50.0
+
+    def test_merge_requires_identical_bounds(self):
+        with pytest.raises(ValueError):
+            LogHistogram([1.0, 2.0]).merge(LogHistogram([1.0, 3.0]))
+
+    def test_snapshot_shape(self):
+        histogram = LogHistogram(log_bounds(0.1, 100.0))
+        assert histogram.snapshot() == {"count": 0}
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["mean"] == pytest.approx(2.0)
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 3.0
+        assert snapshot["p50"] <= snapshot["p90"] <= snapshot["p99"]
+
+    def test_memory_is_fixed_under_load(self):
+        histogram = LogHistogram(log_bounds(0.001, 10.0))
+        width = len(histogram.bucket_counts)
+        for i in range(10_000):
+            histogram.observe((i % 100) * 0.01 + 0.001)
+        assert len(histogram.bucket_counts) == width
+        assert histogram.count == 10_000

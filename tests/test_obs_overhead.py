@@ -30,6 +30,7 @@ def tiny_args(**overrides):
         fit_iterations=3,
         stream_batches=2,
         batch_size=60,
+        telemetry_requests=50,
         repeats=1,
         seed=23,
         smoke=True,
@@ -67,3 +68,17 @@ class TestOverheadGate:
         with obs.recording():
             traced = run_workload(tiny_args())
         assert plain == traced
+
+    def test_telemetry_leg_is_deterministic_and_priced(self):
+        from repro.bench.perf_obs import run_telemetry_workload
+
+        assert run_telemetry_workload(tiny_args()) == run_telemetry_workload(tiny_args())
+        assert run_telemetry_workload(tiny_args()) != run_telemetry_workload(
+            tiny_args(telemetry_requests=51)
+        )
+        report = run_benchmark(tiny_args())
+        assert report["n_telemetry_requests"] == 50
+        assert report["per_telemetry_record_ns"] > 0
+        assert report["telemetry_overhead_pct"] >= 0.0
+        # the gated bound includes the telemetry term
+        assert report["overhead_disabled_pct"] >= report["telemetry_overhead_pct"]

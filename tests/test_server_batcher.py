@@ -188,10 +188,16 @@ def test_stats_snapshot_shape():
     assert snapshot["p99_queue_wait_us"] >= snapshot["p50_queue_wait_us"]
 
 
-def test_stats_window_is_bounded():
+def test_stats_memory_is_bounded():
+    # The histograms hold a fixed bucket array no matter how many
+    # flushes are recorded (the old implementation kept sample rings).
     stats = BatcherStats()
     for _ in range(5000):
         stats.record_flush("quiesce", 1, [10.0])
-    assert len(stats.batch_sizes) <= stats._window
-    assert len(stats.queue_wait_us) <= stats._window
+    assert len(stats.batch_size.bucket_counts) == len(stats.batch_size.bounds) + 1
+    assert stats.batch_size.count == 5000
+    assert stats.queue_wait_us.count == 5000
     assert stats.n_flushes == 5000
+    snapshot = stats.snapshot()
+    assert snapshot["n_batched"] == 5000
+    assert snapshot["mean_batch_size"] == pytest.approx(1.0)

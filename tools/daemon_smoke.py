@@ -10,7 +10,17 @@ End to end over an actual subprocess and actual sockets:
    assert the daemon's labels are bit-identical to an in-process
    :class:`~repro.serving.index.ProjectedClusterIndex` over the same
    artifact;
-4. SIGTERM the daemon and require a clean ``STOPPED`` exit within the
+4. check the request-id contract: an inbound ``X-Request-Id`` is
+   echoed back, a request without one gets a generated id, and even a
+   404 response carries one;
+5. scrape ``/metrics?format=prometheus`` and validate the exposition:
+   every line parses, every histogram series has ascending ``le``
+   bounds with monotone non-decreasing cumulative counts ending at a
+   ``+Inf`` bucket equal to ``_count``, and the predict-route counts
+   agree with the JSON ``/metrics`` telemetry snapshot;
+6. optionally save ``/debug/tail_trace`` (``--tail-trace-out``, the
+   nightly workflow uploads it as an artifact);
+7. SIGTERM the daemon and require a clean ``STOPPED`` exit within the
    timeout.
 
 Run from the repository root (CI does)::
@@ -28,6 +38,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -79,20 +90,117 @@ def get_json(url: str):
         return json.loads(response.read())
 
 
-def post_json(url: str, payload: dict):
+def get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=15) as response:
+        return response.read().decode("utf-8")
+
+
+def post_json(url: str, payload: dict, headers: dict = None):
     request = urllib.request.Request(
         url,
         data=json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(request, timeout=15) as response:
-        return json.loads(response.read())
+        return json.loads(response.read()), dict(response.headers)
+
+
+def check_request_ids(base: str) -> None:
+    """The id contract: inbound honored, absent minted, errors tagged."""
+    point = {"point": [0.0] * 40}
+    _, headers = post_json(base + "/predict", point, {"X-Request-Id": "smoke-42"})
+    assert headers.get("X-Request-Id") == "smoke-42", headers
+    _, headers = post_json(base + "/predict", point)
+    generated = headers.get("X-Request-Id")
+    assert generated, "no X-Request-Id on a plain predict: %s" % headers
+    try:
+        urllib.request.urlopen(base + "/no/such/route", timeout=15)
+    except urllib.error.HTTPError as error:
+        assert error.code == 404, error.code
+        assert error.headers.get("X-Request-Id"), "404 carried no X-Request-Id"
+    else:
+        raise AssertionError("unknown route did not 404")
+    print("request ids ok: inbound echoed, generated=%s, 404 tagged" % generated)
+
+
+def parse_prometheus(text: str):
+    """``{(name, labels): value}`` for every sample line; raises on junk."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        assert body and value, "unparseable sample line: %r" % line
+        if "{" in body:
+            name, _, rest = body.partition("{")
+            assert rest.endswith("}"), "bad label block: %r" % line
+            labels = tuple(
+                sorted(
+                    (pair.split("=", 1)[0], pair.split("=", 1)[1].strip('"'))
+                    for pair in rest[:-1].split(",")
+                    if pair
+                )
+            )
+        else:
+            name, labels = body, ()
+        samples[(name, labels)] = float(value)
+    return samples
+
+
+def check_prometheus(base: str) -> None:
+    """Scrape the text exposition and cross-check it against JSON."""
+    telemetry = get_json(base + "/metrics")["telemetry"]
+    samples = parse_prometheus(get_text(base + "/metrics?format=prometheus"))
+
+    # Group histogram bucket series and validate cumulative monotony.
+    series = {}
+    for (name, labels), value in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        le = dict(labels)["le"]
+        rest = tuple(pair for pair in labels if pair[0] != "le")
+        bound = float("inf") if le == "+Inf" else float(le)
+        series.setdefault((name, rest), []).append((bound, value))
+    assert series, "no histogram bucket series in the scrape"
+    for (name, rest), buckets in series.items():
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds == sorted(bounds), "unsorted le in %s%s" % (name, rest)
+        assert bounds[-1] == float("inf"), "no +Inf bucket in %s%s" % (name, rest)
+        assert counts == sorted(counts), "non-monotone buckets in %s%s" % (name, rest)
+        total = samples[(name[: -len("_bucket")] + "_count", rest)]
+        assert counts[-1] == total, "+Inf bucket != _count for %s%s" % (name, rest)
+
+    # The predict series froze when predict traffic stopped: the scrape
+    # must agree exactly with the JSON snapshot taken just before it.
+    key = tuple(sorted((("route", "predict"), ("status_class", "2xx"))))
+    json_side = telemetry["latency_seconds"]["predict"]["2xx"]
+    count = samples[("repro_request_latency_seconds_count", key)]
+    assert count == json_side["count"], (count, json_side["count"])
+    prom_cumulative = [
+        count for _, count in sorted(series[("repro_request_latency_seconds_bucket", key)])
+    ]
+    assert prom_cumulative == [float(c) for c in json_side["buckets"]["cumulative"]], (
+        "bucket counts diverge between Prometheus and JSON"
+    )
+    assert samples[("repro_requests_total", key)] == (
+        telemetry["requests_total"]["predict"]["2xx"]
+    )
+    print(
+        "prometheus ok: %d samples, %d histogram series, predict counts match JSON"
+        % (len(samples), len(series))
+    )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=0)
     parser.add_argument("--n-queries", type=int, default=32)
+    parser.add_argument(
+        "--tail-trace-out",
+        default=None,
+        help="save the daemon's /debug/tail_trace JSON here before shutdown",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="daemon-smoke-") as scratch:
@@ -131,7 +239,7 @@ def main(argv=None) -> int:
             print("healthz ok: %s" % health)
 
             labels = [
-                post_json(base + "/predict", {"point": list(row)})["label"]
+                post_json(base + "/predict", {"point": list(row)})[0]["label"]
                 for row in queries
             ]
             mismatches = int(np.sum(np.array(labels) != expected))
@@ -141,11 +249,24 @@ def main(argv=None) -> int:
             )
             print("predict ok: %d/%d labels bit-identical" % (len(labels), len(labels)))
 
-            batch = post_json(base + "/predict", {"points": queries.tolist()})
+            batch, _ = post_json(base + "/predict", {"points": queries.tolist()})
             assert batch["labels"] == [int(label) for label in expected], (
                 "batch labels differ from the in-process index"
             )
             print("batch predict ok")
+
+            check_request_ids(base)
+            check_prometheus(base)
+
+            if args.tail_trace_out:
+                trace = get_json(base + "/debug/tail_trace")
+                out = Path(args.tail_trace_out)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(json.dumps(trace))
+                print(
+                    "tail trace saved: %s (%d events)"
+                    % (out, len(trace.get("traceEvents", [])))
+                )
 
             process.send_signal(signal.SIGTERM)
             stdout, stderr = process.communicate(timeout=STOP_TIMEOUT_S)
