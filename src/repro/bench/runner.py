@@ -50,6 +50,23 @@ class RunReport:
 #: Rows kept in a task's profile table (sorted by cumulative time).
 PROFILE_TOP_N = 25
 
+#: BLAS/OpenMP pools these libraries spin up by default would contend
+#: with the benchmark's own parallelism (and with sibling shards) and
+#: skew kernel timings, so workers pin them to one thread each.  Only
+#: ``setdefault`` — an explicit operator override always wins.
+_KERNEL_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def _pin_kernel_thread_env() -> None:
+    """Pin library thread pools to 1 unless the operator already chose."""
+    for name in _KERNEL_THREAD_ENV_VARS:
+        os.environ.setdefault(name, "1")
+
 
 def profile_filename(scenario_id: str, task: TaskSpec) -> str:
     """Collision-free profile filename for one (scenario, task) pair.
@@ -76,6 +93,7 @@ def _execute_task(item: Tuple[str, str, Dict[str, object], Optional[str]]) -> Di
     by default).
     """
     scenario_id, task_name, params, profile_path = item
+    _pin_kernel_thread_env()
     scenario = registry.get(scenario_id)
     task = TaskSpec(name=task_name, params=params)
     if profile_path is None:
@@ -134,6 +152,7 @@ def run_scenarios(
     combine with ``resume=False`` to profile a full suite).
     """
     emit = log or (lambda message: None)
+    _pin_kernel_thread_env()
     planned: List[Tuple[Scenario, TaskSpec]] = []
     by_scenario: Dict[str, List[TaskSpec]] = {}
     for scenario in scenarios:

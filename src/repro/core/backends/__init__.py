@@ -1,0 +1,118 @@
+"""Pluggable kernel backends for the assignment engine.
+
+The engine's blocked column evaluator (see
+:class:`repro.core.assignment_engine.AssignmentEngine`) is an
+exchangeable strategy object.  Four backends ship:
+
+``reference``
+    The blocked pure-numpy float64 evaluator, kept verbatim as the
+    bit-identity oracle (:mod:`repro.core.backends.reference`).
+``threaded``
+    Row-chunk thread-pool parallelism over the same loop; bit-identical
+    (:mod:`repro.core.backends.threaded`).
+``compiled``
+    Optional Numba gather+reduce kernel; bit-identical where available,
+    loud fallback to ``threaded`` otherwise
+    (:mod:`repro.core.backends.compiled`).
+``float32``
+    Opt-in low-precision mode for serving/streaming, gated by declared
+    tolerances instead of bitwise equality
+    (:mod:`repro.core.backends.lowp`).
+
+Selection is by name through :func:`get_backend` (CLI ``--backend``
+flags and the ``SSPC`` / index / streaming constructors all end up
+here), with the ``REPRO_ASSIGNMENT_BACKEND`` environment variable as a
+deployment-wide default override.  Every non-reference backend is
+diffed against the reference oracle by the engine's sampled value-diff
+backstop — exact for the float64 backends, tolerance-banded for
+float32.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.core.backends.compiled import CompiledBackend, compiled_available
+from repro.core.backends.lowp import Float32Backend
+from repro.core.backends.reference import ReferenceBackend
+from repro.core.backends.threaded import ThreadedBackend, default_workers
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "CompiledBackend",
+    "Float32Backend",
+    "ReferenceBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "default_workers",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment override consulted when no backend is named explicitly.
+ENV_VAR = "REPRO_ASSIGNMENT_BACKEND"
+
+DEFAULT_BACKEND = "reference"
+
+BACKEND_NAMES = ("reference", "threaded", "compiled", "float32")
+
+
+def available_backends() -> Dict[str, Tuple[bool, str]]:
+    """``{name: (available, detail)}`` for every registered backend."""
+    compiled_ok, compiled_reason = compiled_available()
+    return {
+        "reference": (True, "blocked pure-numpy float64 (bit-identity oracle)"),
+        "threaded": (True, "%d worker threads" % default_workers()),
+        "compiled": (compiled_ok, compiled_reason),
+        "float32": (True, "opt-in low precision (rtol=%g, atol=%g)"
+                    % (Float32Backend.rtol, Float32Backend.atol)),
+    }
+
+
+def get_backend(name: Optional[str] = None):
+    """A fresh backend instance for ``name``.
+
+    ``None`` resolves through the ``REPRO_ASSIGNMENT_BACKEND``
+    environment variable, then to the reference backend.  Requesting
+    ``compiled`` where Numba is missing (or the numpy grouping probe
+    fails) degrades to ``threaded`` — loudly: an obs ``backend_fallback``
+    event plus an ``engine.backend.fallback`` counter, never silently.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    name = str(name).strip().lower()
+    if name == "reference":
+        return ReferenceBackend()
+    if name == "threaded":
+        return ThreadedBackend()
+    if name == "float32":
+        return Float32Backend()
+    if name == "compiled":
+        available, reason = compiled_available()
+        if available:
+            return CompiledBackend()
+        obs.event("backend_fallback", requested="compiled",
+                  fallback="threaded", reason=reason)
+        recorder = obs.get_recorder()
+        if recorder is not None:
+            recorder.incr("engine.backend.fallback")
+        return ThreadedBackend()
+    raise ValueError(
+        "unknown assignment backend %r (choose from %s)"
+        % (name, ", ".join(BACKEND_NAMES))
+    )
+
+
+def resolve_backend(spec):
+    """Engine-side resolution: ``None`` / name / ready-made instance."""
+    if spec is None or isinstance(spec, str):
+        return get_backend(spec)
+    if not hasattr(spec, "evaluate_columns"):
+        raise TypeError(
+            "backend must be a name or expose evaluate_columns(); got %r" % (spec,)
+        )
+    return spec

@@ -1,0 +1,166 @@
+"""Compiled kernel backend: an optional Numba gather+reduce kernel.
+
+Numba is an *optional* dependency — this module always imports; when the
+wheel is missing :func:`compiled_available` reports ``(False, reason)``
+and the registry falls back to the threaded backend (loudly: an obs
+event plus an ``engine.backend.fallback`` counter, see
+``backends/__init__``).
+
+Bit-identity story: on this numpy generation (2.x) the reference path's
+*strided* add-reduce over the dimension axis is plain sequential
+accumulation in dimension order — verified empirically against the
+reference kernel across dimension counts from 1 to 300 — so a scalar
+``s += 1 - (x - c)^2 / t`` loop reproduces it exactly (Numba without
+``fastmath`` emits strict IEEE double ops in program order, the same
+arithmetic the interpreter does).  Because that grouping is a numpy
+implementation detail, availability is gated on a runtime probe
+(:func:`grouping_probe_ok`) that replays the scalar loop against the
+reference backend and demands bitwise equality; on a numpy build with a
+different strided-reduce grouping the compiled backend reports itself
+unavailable instead of silently breaking the contract.  The engine's
+sampled value-diff backstop then re-checks live calls in production.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CompiledBackend",
+    "compiled_available",
+    "gather_reduce_python",
+    "grouping_probe_ok",
+]
+
+try:  # pragma: no cover - exercised only where the wheel exists
+    from numba import njit, prange
+
+    _NUMBA_IMPORT_ERROR: Optional[str] = None
+except ImportError as exc:  # the supported, tested default environment
+    njit = None
+    prange = range
+    _NUMBA_IMPORT_ERROR = str(exc)
+
+
+def _gather_reduce(points, dims, centers, thresholds, result):
+    # The jitted hot loop (also runs as plain Python for the probe and
+    # the no-numba tests, where ``prange`` is ``range``).  Rows are
+    # independent, so ``parallel=True`` never reassociates the
+    # per-(row, cluster) accumulation below.
+    n = points.shape[0]
+    g = dims.shape[0]
+    c = dims.shape[1]
+    for i in prange(n):
+        for a in range(g):
+            acc = 0.0
+            for b in range(c):
+                delta = points[i, dims[a, b]] - centers[a, b]
+                acc += 1.0 - (delta * delta) / thresholds[a, b]
+            result[i, a] = acc
+
+
+#: The probe-friendly plain-Python spelling of the compiled kernel.
+gather_reduce_python = _gather_reduce
+
+if njit is not None:  # pragma: no cover - requires the optional wheel
+    _gather_reduce_jit = njit(parallel=True, cache=True)(_gather_reduce)
+else:
+    _gather_reduce_jit = None
+
+_PROBE_RESULT: Optional[bool] = None
+
+
+def grouping_probe_ok() -> bool:
+    """Does sequential accumulation match numpy's strided reduce here?
+
+    Replays the scalar kernel against the reference backend on
+    deterministic cases spanning the pairwise-sum-sensitive dimension
+    counts (< 8, 8..128, > 128) and demands bitwise equality.  Cached
+    per process.
+    """
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        from repro.core.backends.reference import ReferenceBackend
+
+        rng = np.random.default_rng(20050405)
+        ok = True
+        for c in (3, 16, 150):
+            n, d, g = 7, c + 4, 2
+            points = rng.standard_normal((n, d))
+            dims = np.stack(
+                [np.sort(rng.choice(d, size=c, replace=False)) for _ in range(g)]
+            ).astype(np.intp)
+            centers = rng.standard_normal((g, c))
+            thresholds = rng.uniform(0.5, 2.0, (g, c))
+            ids = np.arange(g, dtype=np.intp)
+            expected = np.full((n, g), -np.inf)
+            ReferenceBackend().evaluate_columns(
+                points, ids, dims, centers, thresholds, expected, block_rows=4
+            )
+            got = np.empty((n, g))
+            gather_reduce_python(points, dims, centers, thresholds, got)
+            if not np.array_equal(expected, got):
+                ok = False
+                break
+        _PROBE_RESULT = ok
+    return _PROBE_RESULT
+
+
+def compiled_available() -> Tuple[bool, str]:
+    """``(available, reason)`` for the compiled backend on this host."""
+    if _NUMBA_IMPORT_ERROR is not None:
+        return False, "numba is not installed (%s)" % _NUMBA_IMPORT_ERROR
+    if not grouping_probe_ok():
+        return False, (
+            "this numpy build's strided reduction grouping is not plain "
+            "sequential accumulation, so the compiled kernel cannot "
+            "honour the bit-identity contract"
+        )
+    return True, "numba %s" % __import__("numba").__version__
+
+
+class CompiledBackend:
+    """Numba ``@njit(parallel=True, cache=True)`` gather+reduce kernel."""
+
+    name = "compiled"
+    bit_identical = True
+    rtol = 0.0
+    atol = 0.0
+
+    def __init__(self) -> None:
+        available, reason = compiled_available()
+        if not available:
+            raise RuntimeError("compiled backend unavailable: %s" % reason)
+        self._result = np.empty(0)
+
+    def prepare_points(self, points: np.ndarray) -> np.ndarray:
+        return points
+
+    def bind_points(self, points) -> None:
+        pass
+
+    def evaluate_columns(
+        self,
+        points: np.ndarray,
+        cluster_ids: np.ndarray,
+        dims: np.ndarray,
+        centers: np.ndarray,
+        thresholds: np.ndarray,
+        out: np.ndarray,
+        *,
+        block_rows: int,
+    ) -> None:
+        # block_rows is a workspace bound for the numpy paths; the
+        # compiled kernel writes one (n, g) result directly, which is
+        # the smaller of the two footprints for every real plan.
+        g, c = dims.shape
+        n = points.shape[0]
+        if g == 0 or c == 0 or n == 0:
+            return
+        if self._result.size < n * g:
+            self._result = np.empty(n * g)
+        result = self._result[: n * g].reshape(n, g)
+        _gather_reduce_jit(points, dims, centers, thresholds, result)
+        out[:, cluster_ids] = result

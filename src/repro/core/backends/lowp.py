@@ -1,0 +1,120 @@
+"""Low-precision kernel backend: opt-in float32 evaluation.
+
+For serving and streaming deployments where bit-identity to training is
+not the contract, halving the kernel's memory traffic roughly doubles
+the effective bandwidth of the gather-heavy loop.  The precision
+contract is *tolerance-banded* instead of bitwise: the declared
+``rtol`` / ``atol`` below are what the engine's sampled value-diff
+backstop, the cross-backend test suite and the ``perf_assignment``
+accuracy gates all enforce, the same way throughput metrics are already
+tolerance-gated in the bench compare machinery.
+
+Casting is paid once, not per block: an engine-bound point set is cast
+to float32 on :meth:`bind_points` and reused for every :meth:`gains`
+call; per-batch :meth:`compute` points are cast once per engine call
+via :meth:`prepare_points` (with the last batch cached, so the
+serving pattern of several group evaluations per batch casts once).
+The small per-group plan rows are cast per call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.backends.reference import MAX_WORKSPACE_ELEMENTS
+
+__all__ = ["Float32Backend"]
+
+
+class Float32Backend:
+    """Blocked float32 evaluation; tolerance-banded, not bit-identical."""
+
+    name = "float32"
+    bit_identical = False
+    #: Declared accuracy band vs the float64 oracle.  Gains are sums of
+    #: ``c`` O(1) terms, so absolute error grows with the subspace size;
+    #: these bounds hold with an order of magnitude to spare for the
+    #: paper-scale plans (c <= 100, |x| = O(10)) measured in
+    #: ``perf_assignment``'s float32 deviation sweep.
+    rtol = 1e-4
+    atol = 1e-2
+
+    def __init__(self) -> None:
+        self._workspace = np.empty(0, dtype=np.float32)
+        self._reduce_buffer = np.empty(0, dtype=np.float32)
+        self._bound: Optional[np.ndarray] = None
+        self._bound_cast: Optional[np.ndarray] = None
+        self._last_batch: Optional[np.ndarray] = None
+        self._last_cast: Optional[np.ndarray] = None
+
+    def bind_points(self, points) -> None:
+        """Cache the float32 cast of the engine's fixed point set."""
+        if points is None:
+            self._bound = self._bound_cast = None
+        else:
+            self._bound = points
+            self._bound_cast = np.ascontiguousarray(points, dtype=np.float32)
+
+    def prepare_points(self, points: np.ndarray) -> np.ndarray:
+        """Float32 view of this call's points, cast at most once."""
+        if points is self._bound and self._bound_cast is not None:
+            return self._bound_cast
+        if points is self._last_batch and self._last_cast is not None:
+            return self._last_cast
+        cast = np.ascontiguousarray(points, dtype=np.float32)
+        self._last_batch = points
+        self._last_cast = cast
+        return cast
+
+    def evaluate_columns(
+        self,
+        points: np.ndarray,
+        cluster_ids: np.ndarray,
+        dims: np.ndarray,
+        centers: np.ndarray,
+        thresholds: np.ndarray,
+        out: np.ndarray,
+        *,
+        block_rows: int,
+    ) -> None:
+        g, c = dims.shape
+        n = points.shape[0]
+        if g == 0 or c == 0 or n == 0:
+            return
+        if points.dtype != np.float32:
+            # Defensive: the engine routes through prepare_points, but a
+            # direct caller gets correct (slower) behaviour, not garbage.
+            points = np.ascontiguousarray(points, dtype=np.float32)
+        centers32 = centers.astype(np.float32)
+        thresholds32 = thresholds.astype(np.float32)
+        # float32 halves the element size, so the same element cap costs
+        # half the bytes; keeping the cap in elements keeps the row
+        # blocks identical to the reference path for like plans.
+        block = max(2, min(block_rows, MAX_WORKSPACE_ELEMENTS // (g * c)))
+        flat_dims = dims.reshape(-1)
+        if self._workspace.size < (block + 1) * g * c:
+            self._workspace = np.empty((block + 1) * g * c, dtype=np.float32)
+        if self._reduce_buffer.size < (block + 1) * g:
+            self._reduce_buffer = np.empty((block + 1) * g, dtype=np.float32)
+        one = np.float32(1.0)
+        start = 0
+        while start < n:
+            stop = min(start + block, n)
+            if n - stop == 1:
+                stop = n
+            rows = stop - start
+            gathered = self._workspace[: rows * g * c].reshape(g * c, rows)
+            np.take(points[start:stop].T, flat_dims, axis=0, out=gathered)
+            cube = gathered.reshape(g, c, rows).transpose(2, 0, 1)
+            np.subtract(cube, centers32[None, :, :], out=cube)
+            np.square(cube, out=cube)
+            np.divide(cube, thresholds32[None, :, :], out=cube)
+            np.subtract(one, cube, out=cube)
+            reduced = self._reduce_buffer[: rows * g].reshape(g, rows).T
+            cube.sum(axis=2, out=reduced)
+            # Assigning the float32 block into the float64 result widens
+            # each value exactly.
+            out[start:stop, cluster_ids] = reduced
+            start = stop

@@ -1,0 +1,110 @@
+"""The reference kernel backend: the blocked pure-numpy evaluator.
+
+This is the bit-identity oracle every other backend is diffed against —
+the blocked zero-allocation loop moved verbatim out of
+``AssignmentEngine._evaluate_columns`` (PR 5).  Results are bit-identical
+to :func:`repro.core.objective.grouped_assignment_gains`; see the module
+docstring of :mod:`repro.core.assignment_engine` for the contract and
+the in-line comments below for why the blocking cannot change a bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReferenceBackend", "MAX_WORKSPACE_ELEMENTS"]
+
+#: Cap on the gather workspace size (float64 elements, 16 MiB): the
+#: effective row block is ``min(block_rows, cap // (g * c))``.
+MAX_WORKSPACE_ELEMENTS = 1 << 21
+
+
+class ReferenceBackend:
+    """Blocked, preallocated float64 evaluation of one stacked group.
+
+    Single-threaded pure numpy; the precision contract is *bit identity*
+    with the stateless reference kernel.  One instance per engine: the
+    flat gather/reduce workspaces persist across calls and are grown
+    monotonically, so steady-state evaluation allocates nothing.
+    """
+
+    name = "reference"
+    #: Float64 backends promise bit-identical results to the oracle.
+    bit_identical = True
+    rtol = 0.0
+    atol = 0.0
+
+    def __init__(self) -> None:
+        self._workspace = np.empty(0)
+        self._reduce_buffer = np.empty(0)
+
+    def prepare_points(self, points: np.ndarray) -> np.ndarray:
+        """Hook run once per engine call before the group loop (no-op)."""
+        return points
+
+    def bind_points(self, points) -> None:
+        """Hook run when the engine binds a fixed point set (no-op)."""
+
+    def evaluate_columns(
+        self,
+        points: np.ndarray,
+        cluster_ids: np.ndarray,
+        dims: np.ndarray,
+        centers: np.ndarray,
+        thresholds: np.ndarray,
+        out: np.ndarray,
+        *,
+        block_rows: int,
+    ) -> None:
+        """Blocked zero-allocation evaluation of one stacked group.
+
+        Bit-identical to
+        :func:`~repro.core.objective.grouped_assignment_gains`: the
+        element-wise operation sequence is the same, and the workspace
+        replicates the reference gather's memory layout — the fancy
+        index ``points[:, dims_stack]`` materializes a subspace-major
+        ``(g c, n)`` buffer viewed as a transposed ``(n, g, c)`` array,
+        so the reference reduction over the dimension axis is a
+        *strided* pairwise sum.  The workspace here is filled in that
+        same ``(g c, rows)`` layout and summed through the same
+        transposed view; pairwise-summation grouping depends only on the
+        reduction length and on (non-)contiguity, never on the stride
+        value or the row count, so blocking the rows changes nothing.
+        """
+        g, c = dims.shape
+        n = points.shape[0]
+        if g == 0 or c == 0 or n == 0:
+            return
+        # A single-row block would make the transposed view's reduction
+        # axis contiguous and flip numpy onto a differently-grouped sum,
+        # so blocks are at least 2 rows and the final block absorbs an
+        # orphan row (n == 1 overall is fine: the reference gather is
+        # contiguous there too).
+        block = max(2, min(block_rows, MAX_WORKSPACE_ELEMENTS // (g * c)))
+        flat_dims = dims.reshape(-1)
+        if self._workspace.size < (block + 1) * g * c:
+            self._workspace = np.empty((block + 1) * g * c)
+        if self._reduce_buffer.size < (block + 1) * g:
+            self._reduce_buffer = np.empty((block + 1) * g)
+        start = 0
+        while start < n:
+            stop = min(start + block, n)
+            if n - stop == 1:
+                stop = n
+            rows = stop - start
+            gathered = self._workspace[: rows * g * c].reshape(g * c, rows)
+            np.take(points[start:stop].T, flat_dims, axis=0, out=gathered)
+            cube = gathered.reshape(g, c, rows).transpose(2, 0, 1)
+            np.subtract(cube, centers[None, :, :], out=cube)
+            np.square(cube, out=cube)
+            np.divide(cube, thresholds[None, :, :], out=cube)
+            np.subtract(1.0, cube, out=cube)
+            # The reference sum allocates its output in F order (the
+            # layout nditer derives from the transposed operand) and
+            # accumulates the dimension axis plane by plane; an
+            # F-ordered out= view keeps that exact association, where a
+            # C-ordered one would flip numpy onto a different grouping.
+            reduced = self._reduce_buffer[: rows * g].reshape(g, rows).T
+            cube.sum(axis=2, out=reduced)
+            out[start:stop, cluster_ids] = reduced
+            start = stop

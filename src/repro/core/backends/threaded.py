@@ -1,0 +1,184 @@
+"""Threaded kernel backend: row-chunk parallelism over the blocked loop.
+
+The row blocks of the reference evaluator are embarrassingly parallel —
+every block reads a disjoint row slice of ``points`` and writes a
+disjoint row slice of ``out`` — and the heavy ``out=`` ufunc calls
+release the GIL, so a plain :class:`~concurrent.futures.ThreadPoolExecutor`
+scales the same zero-allocation loop across cores with no extra copies.
+
+Bit-identity survives the parallelism for the same reason row blocking
+never changed a bit in the first place (see
+:mod:`repro.core.backends.reference`): numpy's strided pairwise-sum
+grouping depends only on the reduction length and (non-)contiguity,
+never on the row count or stride value, so any partition into chunks of
+at least two rows evaluates to exactly the same bits.  Each worker slot
+keeps its own gather/reduce workspace pair, reused across calls.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.backends.reference import MAX_WORKSPACE_ELEMENTS
+
+__all__ = ["ThreadedBackend", "default_workers"]
+
+#: Env override for the worker count (also honoured by the registry's
+#: ``REPRO_ASSIGNMENT_BACKEND`` selection, see ``backends/__init__``).
+THREADS_ENV_VAR = "REPRO_ASSIGNMENT_THREADS"
+
+#: Below this many rows per would-be chunk the pool dispatch overhead
+#: beats the parallel win, so the chunk count shrinks (possibly to an
+#: inline single-chunk call).
+MIN_CHUNK_ROWS = 192
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_ASSIGNMENT_THREADS`` or ``min(8, cores)``."""
+    env = os.environ.get(THREADS_ENV_VAR)
+    if env:
+        return max(1, int(env))
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    return max(1, min(8, cores))
+
+
+class _Workspace:
+    """One worker slot's persistent gather/reduce buffer pair."""
+
+    __slots__ = ("gather", "reduce")
+
+    def __init__(self) -> None:
+        self.gather = np.empty(0)
+        self.reduce = np.empty(0)
+
+
+def _evaluate_rows(
+    points: np.ndarray,
+    cluster_ids: np.ndarray,
+    flat_dims: np.ndarray,
+    centers: np.ndarray,
+    thresholds: np.ndarray,
+    out: np.ndarray,
+    start: int,
+    stop: int,
+    block: int,
+    workspace: _Workspace,
+) -> None:
+    """The reference blocked loop over one contiguous row chunk."""
+    g = centers.shape[0]
+    c = centers.shape[1]
+    if workspace.gather.size < (block + 1) * g * c:
+        workspace.gather = np.empty((block + 1) * g * c)
+    if workspace.reduce.size < (block + 1) * g:
+        workspace.reduce = np.empty((block + 1) * g)
+    while start < stop:
+        end = min(start + block, stop)
+        if stop - end == 1:
+            end = stop
+        rows = end - start
+        gathered = workspace.gather[: rows * g * c].reshape(g * c, rows)
+        np.take(points[start:end].T, flat_dims, axis=0, out=gathered)
+        cube = gathered.reshape(g, c, rows).transpose(2, 0, 1)
+        np.subtract(cube, centers[None, :, :], out=cube)
+        np.square(cube, out=cube)
+        np.divide(cube, thresholds[None, :, :], out=cube)
+        np.subtract(1.0, cube, out=cube)
+        reduced = workspace.reduce[: rows * g].reshape(g, rows).T
+        cube.sum(axis=2, out=reduced)
+        out[start:end, cluster_ids] = reduced
+        start = end
+
+
+class ThreadedBackend:
+    """Row-chunked thread-pool evaluation; bit-identical float64."""
+
+    name = "threaded"
+    bit_identical = True
+    rtol = 0.0
+    atol = 0.0
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = int(workers) if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._workspaces: List[_Workspace] = [_Workspace() for _ in range(self.workers)]
+
+    # The executor is process-local runtime state: drop it when a host
+    # object (objective, index) travels across a pickle boundary.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def prepare_points(self, points: np.ndarray) -> np.ndarray:
+        return points
+
+    def bind_points(self, points) -> None:
+        pass
+
+    def close(self) -> None:
+        """Shut the pool down (it is lazily recreated on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _chunks(self, n: int) -> List[int]:
+        """Balanced contiguous row-chunk boundaries (each chunk >= 2 rows)."""
+        width = max(2, MIN_CHUNK_ROWS)
+        w = min(self.workers, max(1, n // width))
+        base, extra = divmod(n, w)
+        bounds = [0]
+        for i in range(w):
+            bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+        return bounds
+
+    def evaluate_columns(
+        self,
+        points: np.ndarray,
+        cluster_ids: np.ndarray,
+        dims: np.ndarray,
+        centers: np.ndarray,
+        thresholds: np.ndarray,
+        out: np.ndarray,
+        *,
+        block_rows: int,
+    ) -> None:
+        g, c = dims.shape
+        n = points.shape[0]
+        if g == 0 or c == 0 or n == 0:
+            return
+        block = max(2, min(block_rows, MAX_WORKSPACE_ELEMENTS // (g * c)))
+        flat_dims = dims.reshape(-1)
+        bounds = self._chunks(n)
+        if len(bounds) == 2:
+            # Single chunk: evaluate inline, no pool round trip.
+            _evaluate_rows(
+                points, cluster_ids, flat_dims, centers, thresholds, out,
+                0, n, block, self._workspaces[0],
+            )
+            return
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-kernel"
+            )
+        futures = [
+            self._pool.submit(
+                _evaluate_rows,
+                points, cluster_ids, flat_dims, centers, thresholds, out,
+                bounds[i], bounds[i + 1], block, self._workspaces[i],
+            )
+            for i in range(len(bounds) - 1)
+        ]
+        for future in futures:
+            future.result()

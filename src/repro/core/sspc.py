@@ -117,6 +117,13 @@ class SSPC:
         ``stats_cache_`` afterwards (streaming re-selection, the
         baselines sharing the workspace) can raise it; ``0`` disables
         caching entirely.
+    backend:
+        Assignment-kernel backend name for the fit loop and the serving
+        indexes built by :meth:`predict` (``"reference"`` /
+        ``"threaded"`` / ``"compiled"`` / ``"float32"``; see
+        :mod:`repro.core.backends`).  ``None`` defers to the
+        ``REPRO_ASSIGNMENT_BACKEND`` environment variable and then the
+        bit-identical reference kernel.
     random_state:
         Seed or generator controlling medoid draws and grid sampling.
 
@@ -149,6 +156,7 @@ class SSPC:
         public_group_factor: int = 3,
         allow_outliers: bool = True,
         stats_cache_max_entries: Optional[int] = None,
+        backend: Optional[str] = None,
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, name="n_clusters", minimum=1)
@@ -174,6 +182,15 @@ class SSPC:
         if stats_cache_max_entries is not None and stats_cache_max_entries < 0:
             raise ValueError("stats_cache_max_entries must be non-negative or None")
         self.stats_cache_max_entries = stats_cache_max_entries
+        if backend is not None:
+            from repro.core.backends import BACKEND_NAMES
+
+            if backend not in BACKEND_NAMES:
+                raise ValueError(
+                    "unknown assignment backend %r (choose from %s)"
+                    % (backend, ", ".join(BACKEND_NAMES))
+                )
+        self.backend = backend
         self.random_state = random_state
 
         self.result_: Optional[ClusteringResult] = None
@@ -235,7 +252,10 @@ class SSPC:
         # across estimators, so zero the counters — keeping the cached
         # entries — before this run starts.
         workspace.reset_counters()
-        objective = ObjectiveFunction(data, threshold, stats_cache=workspace)
+        objective = ObjectiveFunction(
+            data, threshold, stats_cache=workspace,
+            assignment_backend=self.backend,
+        )
         self.stats_cache_ = workspace
         self.threshold_ = threshold
         # A refit invalidates any serving state built from the old model.
@@ -439,7 +459,9 @@ class SSPC:
             self._serving_artifact = self.to_artifact()
         index = self._serving_indexes.get(center)
         if index is None:
-            index = ProjectedClusterIndex(self._serving_artifact, center=center)
+            index = ProjectedClusterIndex(
+                self._serving_artifact, center=center, backend=self.backend
+            )
             self._serving_indexes[center] = index
         if top_m is not None:
             return index.top_assignments(data, top_m)
@@ -460,6 +482,8 @@ class SSPC:
         }
         if self.stats_cache_max_entries is not None:
             params["stats_cache_max_entries"] = self.stats_cache_max_entries
+        if self.backend is not None:
+            params["backend"] = self.backend
         params.update({k: v for k, v in self._threshold_args.items() if v is not None})
         return params
 

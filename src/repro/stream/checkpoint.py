@@ -345,7 +345,7 @@ def describe_checkpoint(path: PathLike) -> Dict[str, object]:
     }
 
 
-def load_checkpoint(path: PathLike, *, config=None):
+def load_checkpoint(path: PathLike, *, config=None, backend=None):
     """Rebuild a :class:`~repro.stream.engine.StreamingSSPC` from ``path``.
 
     Tries the committed generation first and automatically rolls back
@@ -358,7 +358,10 @@ def load_checkpoint(path: PathLike, *, config=None):
 
     ``config`` overrides the checkpointed :class:`StreamConfig` (e.g. to
     change adaptation knobs mid-stream); buffers sized by the old config
-    are re-bounded under the new one.
+    are re-bounded under the new one.  ``backend`` selects the restored
+    engine's assignment-kernel backend (a :mod:`repro.core.backends`
+    name) — kernel choice is per-process runtime state, so it is never
+    part of the checkpoint itself.
     """
     directory = Path(path)
     candidates = _candidate_dirs(directory)
@@ -369,7 +372,7 @@ def load_checkpoint(path: PathLike, *, config=None):
     problems: List[str] = []
     for candidate in candidates:
         try:
-            engine = _load_generation(candidate, config=config)
+            engine = _load_generation(candidate, config=config, backend=backend)
         except (IntegrityError, FileNotFoundError, OSError) as exc:
             problems.append("%s: %s" % (candidate.name, exc))
             continue
@@ -381,7 +384,7 @@ def load_checkpoint(path: PathLike, *, config=None):
     )
 
 
-def _load_generation(directory: Path, *, config=None):
+def _load_generation(directory: Path, *, config=None, backend=None):
     """Restore one generation directory, verifying every checksum."""
     from repro.stream.engine import StreamConfig, StreamEvent, StreamingSSPC
 
@@ -393,7 +396,9 @@ def _load_generation(directory: Path, *, config=None):
 
     artifact = load_artifact(directory / MODEL_DIR)
     engine_config = config if config is not None else StreamConfig.from_dict(_field("config"))
-    engine = StreamingSSPC(artifact, config=engine_config, center=str(_field("center")))
+    engine = StreamingSSPC(
+        artifact, config=engine_config, center=str(_field("center")), backend=backend
+    )
 
     arrays_path = directory / ARRAYS_NAME
     if not arrays_path.is_file():

@@ -72,12 +72,12 @@ class TestBlockedEvaluation:
         engine = AssignmentEngine(points, block_rows=128)
         engine.set_clusters(dims, centers, thresholds)
         engine.gains()
-        workspace = engine._workspace
+        workspace = engine.backend._workspace
         for _ in range(5):
             engine.invalidate()
             engine.gains()
             engine.compute(points[:100])
-        assert engine._workspace is workspace
+        assert engine.backend._workspace is workspace
 
 
 class TestDirtyTracking:

@@ -63,6 +63,15 @@ METRIC_EXEMPT_PATTERNS = (
 #: Module-hook spellings whose first argument names a metric.
 METRIC_HOOKS = ("incr", "observe", "gauge")
 
+#: Packages the scan must visit — a future path-scoping change that
+#: silently dropped one of these would turn the lint into a no-op for
+#: exactly the code it was extended to cover.
+REQUIRED_SCANNED = (
+    "src/repro/core/backends/__init__.py",
+    "src/repro/core/assignment_engine.py",
+    "src/repro/serving/index.py",
+)
+
 
 def is_exempt(relative: str) -> bool:
     return any(fnmatch.fnmatch(relative, pattern) for pattern in EXEMPT_PATTERNS)
@@ -138,12 +147,14 @@ def scan_file(path: Path):
 def run() -> int:
     violations = []
     scanned = 0
+    scanned_paths = set()
     readme = (REPO_ROOT / "README.md").read_text()
     n_metrics = 0
     for path in sorted((REPO_ROOT / SCAN_ROOT).rglob("*.py")):
         relative = str(path.relative_to(REPO_ROOT))
         if not is_exempt(relative):
             scanned += 1
+            scanned_paths.add(relative)
             for line, message in scan_file(path):
                 violations.append("%s:%d: %s" % (relative, line, message))
         if is_metric_exempt(relative):
@@ -156,6 +167,12 @@ def run() -> int:
                     "%s:%d: %s `%s` is emitted but missing from the README "
                     "metric reference table" % (relative, line, kind, name)
                 )
+    for required in REQUIRED_SCANNED:
+        if required not in scanned_paths:
+            violations.append(
+                "%s: required module was not scanned — the lint's path scoping "
+                "no longer covers it" % required
+            )
     for violation in violations:
         print(violation)
     print(
